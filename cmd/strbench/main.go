@@ -1,0 +1,124 @@
+// Command strbench regenerates the tables and figures of the STR paper's
+// evaluation section.
+//
+// Usage:
+//
+//	strbench [-exp table2,fig9|all] [-scale 0.2] [-queries 500] [-full] [-seed 1]
+//
+// Each experiment prints the same rows the paper reports (figures are
+// emitted as their data series). By default the suite runs at one fifth of
+// the paper's data and buffer sizes so it finishes in minutes; -full uses
+// the paper's exact configuration (hundreds of millions of page requests —
+// expect a long run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"strtree/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (e.g. table2,fig9) or 'all'")
+		scale   = flag.Float64("scale", 0.2, "fraction of the paper's data and buffer sizes")
+		queries = flag.Int("queries", 500, "queries per experiment (paper: 2000)")
+		full    = flag.Bool("full", false, "run the paper's exact configuration (overrides -scale/-queries)")
+		seed    = flag.Int64("seed", 1, "random seed for data and queries")
+		format  = flag.String("format", "table", "output format: table or csv")
+		jobs    = flag.Int("j", 1, "experiments to run concurrently")
+		trials  = flag.Int("trials", 1, "trials to average per experiment (different seeds)")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Queries: *queries, Capacity: 100, Seed: *seed}
+	if *full {
+		cfg = experiments.Full()
+		cfg.Seed = *seed
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	// Validate up front so a typo fails before any long run starts.
+	runners := make([]experiments.Runner, len(ids))
+	for i, id := range ids {
+		runner, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "strbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		runners[i] = runner
+	}
+
+	// Run with bounded concurrency, emitting results in request order.
+	type result struct {
+		table   *experiments.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]chan result, len(ids))
+	sem := make(chan struct{}, maxInt(*jobs, 1))
+	for i := range ids {
+		results[i] = make(chan result, 1)
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			table, err := experiments.RunTrials(runners[i], cfg, *trials)
+			results[i] <- result{table: table, err: err, elapsed: time.Since(start)}
+		}(i)
+	}
+
+	for i, id := range ids {
+		res := <-results[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "strbench: %s: %v\n", id, res.err)
+			os.Exit(1)
+		}
+		table := res.table
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n", table.ID, table.Title)
+			if err := table.FprintCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "strbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		case "table":
+			if err := table.Fprint(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "strbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("   [%s completed in %v]\n\n", id, res.elapsed.Round(time.Millisecond))
+		default:
+			fmt.Fprintf(os.Stderr, "strbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

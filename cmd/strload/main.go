@@ -1,0 +1,366 @@
+// Command strload builds and queries persistent STR-tree index files from
+// CSV rectangle data.
+//
+// Usage:
+//
+//	strload build -in rects.csv -out index.str [-pack STR|HS|NX] [-cap 100]
+//	strload query -idx index.str -rect x0,y0,x1,y1 [-buffer 256]
+//	strload stats -idx index.str
+//
+// The CSV rows are "x0,y0,x1,y1[,id]"; a missing id defaults to the row
+// number. Query prints one matching item per line (id and rectangle)
+// followed by the disk-access count for the query.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"strtree"
+	"strtree/internal/geojson"
+	"strtree/internal/wkt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: strload build|query|stats [flags]")
+	os.Exit(2)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV of rectangles (x0,y0,x1,y1[,id])")
+	wktIn := fs.String("wkt", "", "input file of WKT geometries, one per line (optional leading \"id<TAB>\")")
+	geojsonIn := fs.String("geojson", "", "input GeoJSON file (FeatureCollection, Feature, or Geometry)")
+	out := fs.String("out", "index.str", "output index file")
+	packName := fs.String("pack", "STR", "packing algorithm: STR, HS, NX")
+	capacity := fs.Int("cap", 100, "node capacity (entries per page)")
+	external := fs.Bool("external", false, "bounded-memory STR build (for inputs larger than RAM; STR only)")
+	runSize := fs.Int("runsize", 1<<20, "max items in memory during an -external build")
+	fs.Parse(args)
+	inputs := 0
+	for _, s := range []string{*in, *wktIn, *geojsonIn} {
+		if s != "" {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		return fmt.Errorf("build: exactly one of -in, -wkt or -geojson is required")
+	}
+	if *external && *in == "" {
+		return fmt.Errorf("build: -external works with -in CSV input only")
+	}
+
+	var packing strtree.Packing
+	switch strings.ToUpper(*packName) {
+	case "STR":
+		packing = strtree.PackSTR
+	case "HS":
+		packing = strtree.PackHilbert
+	case "NX":
+		packing = strtree.PackNearestX
+	default:
+		return fmt.Errorf("build: unknown packing %q", *packName)
+	}
+	if *external && packing != strtree.PackSTR {
+		return fmt.Errorf("build: -external supports only STR packing")
+	}
+
+	tree, err := strtree.Create(*out, strtree.Options{Capacity: *capacity})
+	if err != nil {
+		return err
+	}
+	if *external {
+		src, closeSrc, srcErr, err := streamItems(*in)
+		if err != nil {
+			tree.Close()
+			return err
+		}
+		err = tree.BulkLoadExternal(src, strtree.ExternalOptions{RunSize: *runSize})
+		closeSrc()
+		if err == nil {
+			err = srcErr() // surface a CSV read error that ended the stream early
+		}
+		if err != nil {
+			tree.Close()
+			return err
+		}
+	} else {
+		var items []strtree.Item
+		var err error
+		switch {
+		case *wktIn != "":
+			items, err = readWKTItems(*wktIn)
+		case *geojsonIn != "":
+			items, err = readGeoJSONItems(*geojsonIn)
+		default:
+			items, err = readItems(*in)
+		}
+		if err != nil {
+			tree.Close()
+			return err
+		}
+		if err := tree.BulkLoad(items, packing); err != nil {
+			tree.Close()
+			return err
+		}
+	}
+	h := tree.Height()
+	n := tree.Len()
+	if err := tree.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("built %s: %d items, height %d, packing %s\n", *out, n, h, packing)
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	idx := fs.String("idx", "index.str", "index file")
+	rect := fs.String("rect", "", "query rectangle x0,y0,x1,y1")
+	bufPages := fs.Int("buffer", 256, "buffer pool pages")
+	fs.Parse(args)
+	if *rect == "" {
+		return fmt.Errorf("query: -rect is required")
+	}
+	q, err := parseRect(*rect)
+	if err != nil {
+		return err
+	}
+
+	tree, err := strtree.Open(*idx, strtree.Options{BufferPages: *bufPages})
+	if err != nil {
+		return err
+	}
+	defer tree.Close()
+	tree.ResetStats()
+	n := 0
+	err = tree.Search(q, func(it strtree.Item) bool {
+		fmt.Printf("%d\t%v\n", it.ID, it.Rect)
+		n++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s := tree.Stats()
+	fmt.Printf("# %d results, %d disk accesses (%d page requests)\n", n, s.DiskReads, s.LogicalReads)
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	idx := fs.String("idx", "index.str", "index file")
+	fs.Parse(args)
+	tree, err := strtree.Open(*idx, strtree.Options{})
+	if err != nil {
+		return err
+	}
+	defer tree.Close()
+	m, err := tree.Metrics()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("items:           %d\n", tree.Len())
+	fmt.Printf("height:          %d\n", tree.Height())
+	fmt.Printf("capacity:        %d entries/node\n", tree.Capacity())
+	fmt.Printf("nodes:           %d (%d leaves)\n", m.Nodes, m.LeafNodes)
+	fmt.Printf("leaf area:       %.4f\n", m.LeafArea)
+	fmt.Printf("leaf perimeter:  %.4f\n", m.LeafPerimeter)
+	fmt.Printf("total area:      %.4f\n", m.TotalArea)
+	fmt.Printf("total perimeter: %.4f\n", m.TotalPerimeter)
+	return nil
+}
+
+// readGeoJSONItems parses a GeoJSON document into indexable items.
+func readGeoJSONItems(path string) ([]strtree.Item, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	features, err := geojson.Collection(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	items := make([]strtree.Item, len(features))
+	for i, f := range features {
+		items[i] = strtree.Item{Rect: f.Rect, ID: f.ID}
+	}
+	return items, nil
+}
+
+// readWKTItems parses a file of WKT geometries, one per line, optionally
+// prefixed with "id<TAB>". Blank lines and lines starting with '#' are
+// skipped; each geometry is indexed by its minimum bounding rectangle.
+func readWKTItems(path string) ([]strtree.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var items []strtree.Item
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24) // polygons can be long
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id := uint64(len(items))
+		body := line
+		if tab := strings.IndexByte(line, '\t'); tab >= 0 {
+			parsed, err := strconv.ParseUint(strings.TrimSpace(line[:tab]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d: id: %w", path, lineNo, err)
+			}
+			id = parsed
+			body = line[tab+1:]
+		}
+		mbr, err := wkt.MBR(body)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, lineNo, err)
+		}
+		items = append(items, strtree.Item{Rect: mbr, ID: id})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return items, nil
+}
+
+// streamItems opens the CSV and returns a pull source for it, so an
+// external build never holds the whole file in memory. Malformed rows are
+// skipped with a warning; a reader error ends the stream and is surfaced
+// through srcErr so the caller fails the build instead of silently
+// indexing a truncated file.
+func streamItems(path string) (src func() (strtree.Item, bool), closeFn func(), srcErr func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	row := 0
+	var readErr error
+	src = func() (strtree.Item, bool) {
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				return strtree.Item{}, false
+			}
+			if err != nil {
+				readErr = fmt.Errorf("%s: %w", path, err)
+				return strtree.Item{}, false
+			}
+			row++
+			it, perr := parseItem(rec, row)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "strload: %s row %d skipped: %v\n", path, row, perr)
+				continue
+			}
+			return it, true
+		}
+	}
+	return src, func() { f.Close() }, func() error { return readErr }, nil
+}
+
+// parseItem converts one CSV record into an item.
+func parseItem(rec []string, row int) (strtree.Item, error) {
+	if len(rec) != 4 && len(rec) != 5 {
+		return strtree.Item{}, fmt.Errorf("want 4 or 5 fields, got %d", len(rec))
+	}
+	var v [4]float64
+	for i := 0; i < 4; i++ {
+		f, err := strconv.ParseFloat(strings.TrimSpace(rec[i]), 64)
+		if err != nil {
+			return strtree.Item{}, fmt.Errorf("field %d: %w", i+1, err)
+		}
+		v[i] = f
+	}
+	id := uint64(row - 1)
+	if len(rec) == 5 {
+		parsed, err := strconv.ParseUint(strings.TrimSpace(rec[4]), 10, 64)
+		if err != nil {
+			return strtree.Item{}, fmt.Errorf("id: %w", err)
+		}
+		id = parsed
+	}
+	rect, err := strtree.NewRect(strtree.Pt2(v[0], v[1]), strtree.Pt2(v[2], v[3]))
+	if err != nil {
+		return strtree.Item{}, err
+	}
+	return strtree.Item{Rect: rect, ID: id}, nil
+}
+
+// readItems parses the CSV rectangle file.
+func readItems(path string) ([]strtree.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	var items []strtree.Item
+	row := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		row++
+		it, err := parseItem(rec, row)
+		if err != nil {
+			return nil, fmt.Errorf("%s row %d: %w", path, row, err)
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+func parseRect(s string) (strtree.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return strtree.Rect{}, fmt.Errorf("rect %q: want x0,y0,x1,y1", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return strtree.Rect{}, fmt.Errorf("rect %q: %w", s, err)
+		}
+		v[i] = f
+	}
+	return strtree.NewRect(strtree.Pt2(v[0], v[1]), strtree.Pt2(v[2], v[3]))
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strtree/internal/pack"
+)
+
+func TestPlotLeavesWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	if err := plotLeaves(dir, "test_str.svg", "STR", pack.STR{}, 1, 2000); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "test_str.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// 2000 segments at capacity 100 = 20 leaf rectangles (+1 background).
+	if got := strings.Count(s, "<rect"); got < 21 {
+		t.Fatalf("only %d rects drawn", got)
+	}
+	if !strings.Contains(s, "STR") {
+		t.Fatal("label missing")
+	}
+}
+
+func TestPlotCFDWritesSVGs(t *testing.T) {
+	dir := t.TempDir()
+	if err := plotCFDFull(dir, 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := plotCFDCenter(dir, 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, "figure5_cfd_full.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(full), "<circle") != 500 {
+		t.Fatalf("full plot drew %d dots", strings.Count(string(full), "<circle"))
+	}
+	center, err := os.ReadFile(filepath.Join(dir, "figure6_cfd_center.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zoom shows a subset of the 500 points.
+	dots := strings.Count(string(center), "<circle")
+	if dots == 0 || dots >= 500 {
+		t.Fatalf("center plot drew %d dots", dots)
+	}
+}
+
+func TestPlotFailsOnBadDirectory(t *testing.T) {
+	if err := plotLeaves("/nonexistent-dir-xyz", "x.svg", "STR", pack.STR{}, 1, 500); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}

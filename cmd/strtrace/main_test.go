@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strtree"
+	"strtree/internal/trace"
+)
+
+func TestQueryRects(t *testing.T) {
+	qs := queryRects(200, 0.1, 1)
+	if len(qs) != 200 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	u := strtree.R2(0, 0, 1, 1)
+	for i, q := range qs {
+		if !u.Contains(q) {
+			t.Fatalf("query %d outside unit square: %v", i, q)
+		}
+		if q.Side(0) > 0.1+1e-12 {
+			t.Fatalf("query %d wider than extent", i)
+		}
+	}
+	// Deterministic per seed.
+	again := queryRects(200, 0.1, 1)
+	for i := range qs {
+		if !qs[i].Equal(again[i]) {
+			t.Fatal("same seed produced different queries")
+		}
+	}
+	other := queryRects(200, 0.1, 2)
+	same := true
+	for i := range qs {
+		if !qs[i].Equal(other[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical queries")
+	}
+	// Point queries are points.
+	for _, q := range queryRects(10, 0, 3) {
+		if q.Area() != 0 {
+			t.Fatal("extent 0 produced non-point query")
+		}
+	}
+}
+
+func TestRecordSimulateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	idx := filepath.Join(dir, "idx.str")
+	tree, err := strtree.Create(idx, strtree.Options{Capacity: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]strtree.Item, 3000)
+	for i := range items {
+		x := float64(i%60) / 60
+		y := float64(i/60) / 60
+		items[i] = strtree.Item{Rect: strtree.R2(x, y, x+0.01, y+0.01), ID: uint64(i)}
+	}
+	if err := tree.BulkLoad(items, strtree.PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "a.trace")
+	if err := runRecord([]string{"-idx", idx, "-queries", "100", "-extent", "0.05", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty trace recorded")
+	}
+	// Every access must target a page of the index.
+	if err := runSimulate([]string{"-trace", out, "-buffers", "5,10", "-queries", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	// Bad inputs.
+	if err := runSimulate([]string{"-trace", out, "-buffers", "0"}); err == nil {
+		t.Fatal("buffer size 0 accepted")
+	}
+	if err := runSimulate([]string{"-trace", filepath.Join(dir, "missing.trace")}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if err := runRecord([]string{"-idx", filepath.Join(dir, "missing.str"), "-out", out}); err == nil {
+		t.Fatal("missing index accepted")
+	}
+}

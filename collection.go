@@ -1,0 +1,158 @@
+package strtree
+
+import "fmt"
+
+// Collection pairs a spatial index with typed in-memory payloads, so
+// callers can store and retrieve their own values instead of managing
+// opaque IDs. The rectangles and IDs live in the R-tree (and can be
+// packed, searched and joined like any tree via Tree); the values live in
+// a map keyed by the IDs the collection assigns.
+//
+// A Collection is for in-memory use: payloads do not persist with a
+// file-backed tree. It is safe for one goroutine, like Tree.
+type Collection[T any] struct {
+	tree   *Tree
+	values map[uint64]collectionEntry[T]
+	nextID uint64
+}
+
+type collectionEntry[T any] struct {
+	rect  Rect
+	value T
+}
+
+// NewCollection creates an empty typed collection over an in-memory tree.
+func NewCollection[T any](opts Options) (*Collection[T], error) {
+	tree, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection[T]{
+		tree:   tree,
+		values: map[uint64]collectionEntry[T]{},
+	}, nil
+}
+
+// Add indexes value under rect and returns the assigned id.
+func (c *Collection[T]) Add(rect Rect, value T) (uint64, error) {
+	id := c.nextID
+	if err := c.tree.Insert(rect, id); err != nil {
+		return 0, err
+	}
+	c.values[id] = collectionEntry[T]{rect: rect.Clone(), value: value}
+	c.nextID++
+	return id, nil
+}
+
+// BulkAdd packs the collection from scratch with the given algorithm.
+// The collection must be empty. It returns the assigned ids in input
+// order.
+func (c *Collection[T]) BulkAdd(rects []Rect, values []T, p Packing) ([]uint64, error) {
+	if len(rects) != len(values) {
+		return nil, fmt.Errorf("strtree: %d rects but %d values", len(rects), len(values))
+	}
+	if len(c.values) != 0 {
+		return nil, fmt.Errorf("strtree: BulkAdd on non-empty collection")
+	}
+	items := make([]Item, len(rects))
+	ids := make([]uint64, len(rects))
+	for i, r := range rects {
+		id := c.nextID
+		c.nextID++
+		items[i] = Item{Rect: r, ID: id}
+		ids[i] = id
+	}
+	if err := c.tree.BulkLoad(items, p); err != nil {
+		c.nextID -= uint64(len(rects))
+		return nil, err
+	}
+	for i, id := range ids {
+		c.values[id] = collectionEntry[T]{rect: rects[i].Clone(), value: values[i]}
+	}
+	return ids, nil
+}
+
+// Get returns the value stored under id.
+func (c *Collection[T]) Get(id uint64) (T, bool) {
+	e, ok := c.values[id]
+	return e.value, ok
+}
+
+// Update replaces the value under id (the rectangle is unchanged).
+func (c *Collection[T]) Update(id uint64, value T) bool {
+	e, ok := c.values[id]
+	if !ok {
+		return false
+	}
+	e.value = value
+	c.values[id] = e
+	return true
+}
+
+// Move re-indexes the item under a new rectangle.
+func (c *Collection[T]) Move(id uint64, rect Rect) error {
+	e, ok := c.values[id]
+	if !ok {
+		return fmt.Errorf("strtree: no item %d", id)
+	}
+	removed, err := c.tree.Delete(e.rect, id)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return fmt.Errorf("strtree: item %d missing from index", id)
+	}
+	if err := c.tree.Insert(rect, id); err != nil {
+		return err
+	}
+	e.rect = rect.Clone()
+	c.values[id] = e
+	return nil
+}
+
+// Remove deletes the item, reporting whether it existed.
+func (c *Collection[T]) Remove(id uint64) (bool, error) {
+	e, ok := c.values[id]
+	if !ok {
+		return false, nil
+	}
+	removed, err := c.tree.Delete(e.rect, id)
+	if err != nil {
+		return false, err
+	}
+	if removed {
+		delete(c.values, id)
+	}
+	return removed, nil
+}
+
+// Search streams every stored item intersecting q. Returning false stops.
+func (c *Collection[T]) Search(q Rect, fn func(id uint64, rect Rect, value T) bool) error {
+	return c.tree.Search(q, func(it Item) bool {
+		e := c.values[it.ID]
+		return fn(it.ID, e.rect, e.value)
+	})
+}
+
+// NearestK returns the ids and values of the k items nearest to p.
+func (c *Collection[T]) NearestK(p Point, k int) ([]uint64, []T, error) {
+	items, _, err := c.tree.NearestK(p, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]uint64, len(items))
+	vals := make([]T, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+		vals[i] = c.values[it.ID].value
+	}
+	return ids, vals, nil
+}
+
+// Len returns the number of stored items.
+func (c *Collection[T]) Len() int { return len(c.values) }
+
+// Tree exposes the underlying index for advanced operations (metrics,
+// joins with other trees, compaction). Mutating it directly desynchronizes
+// the payload map; use the Collection methods for changes.
+func (c *Collection[T]) Tree() *Tree { return c.tree }

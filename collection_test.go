@@ -1,0 +1,154 @@
+package strtree
+
+import (
+	"testing"
+)
+
+type city struct {
+	Name string
+	Pop  int
+}
+
+func TestCollectionBasics(t *testing.T) {
+	c, err := NewCollection[city](Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := c.Add(PointRect(Pt2(0.1, 0.1)), city{"Alpha", 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.Add(PointRect(Pt2(0.9, 0.9)), city{"Beta", 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("ids not unique")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	got, ok := c.Get(id1)
+	if !ok || got.Name != "Alpha" {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	// Search returns the payloads.
+	found := map[string]bool{}
+	if err := c.Search(R2(0, 0, 1, 1), func(id uint64, r Rect, v city) bool {
+		found[v.Name] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found["Alpha"] || !found["Beta"] {
+		t.Fatalf("search found %v", found)
+	}
+	// Restricted window sees one.
+	n := 0
+	if err := c.Search(R2(0, 0, 0.5, 0.5), func(uint64, Rect, city) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("window found %d", n)
+	}
+}
+
+func TestCollectionUpdateMoveRemove(t *testing.T) {
+	c, err := NewCollection[string](Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Add(R2(0.1, 0.1, 0.2, 0.2), "original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Update(id, "updated") {
+		t.Fatal("update failed")
+	}
+	if v, _ := c.Get(id); v != "updated" {
+		t.Fatalf("value = %q", v)
+	}
+	if c.Update(999, "x") {
+		t.Fatal("update of missing id succeeded")
+	}
+	// Move: old location no longer matches, new one does.
+	if err := c.Move(id, R2(0.8, 0.8, 0.9, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := c.Search(R2(0, 0, 0.5, 0.5), func(uint64, Rect, string) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("item still at old location")
+	}
+	if err := c.Search(R2(0.7, 0.7, 1, 1), func(uint64, Rect, string) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatal("item not at new location")
+	}
+	if err := c.Move(999, R2(0, 0, 1, 1)); err == nil {
+		t.Fatal("move of missing id succeeded")
+	}
+	// Remove.
+	ok, err := c.Remove(id)
+	if err != nil || !ok {
+		t.Fatalf("remove: %v %v", ok, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after remove", c.Len())
+	}
+	ok, err = c.Remove(id)
+	if err != nil || ok {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestCollectionBulkAdd(t *testing.T) {
+	c, err := NewCollection[int](Options{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rects []Rect
+	var vals []int
+	for i := 0; i < 500; i++ {
+		x := float64(i%25) / 25
+		y := float64(i/25) / 25
+		rects = append(rects, R2(x, y, x+0.01, y+0.01))
+		vals = append(vals, i*i)
+	}
+	ids, err := c.BulkAdd(rects, vals, PackSTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 500 || c.Len() != 500 {
+		t.Fatalf("ids %d len %d", len(ids), c.Len())
+	}
+	if v, ok := c.Get(ids[42]); !ok || v != 42*42 {
+		t.Fatalf("payload %d mismatch: %d", 42, v)
+	}
+	if err := c.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// kNN through the collection.
+	nnIDs, nnVals, err := c.NearestK(Pt2(0.5, 0.5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nnIDs) != 3 || len(nnVals) != 3 {
+		t.Fatalf("kNN sizes %d/%d", len(nnIDs), len(nnVals))
+	}
+	for i, id := range nnIDs {
+		if want, _ := c.Get(id); want != nnVals[i] {
+			t.Fatalf("kNN value mismatch at %d", i)
+		}
+	}
+	// Errors.
+	if _, err := c.BulkAdd(rects, vals[:10], PackSTR); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := c.BulkAdd(rects, vals, PackSTR); err == nil {
+		t.Fatal("bulk add on non-empty collection accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// 3-D example: the paper's k > 2 generalization (Section 2.2) through
+// the public API. Index bounding boxes of particles in a unit cube,
+// run box queries and nearest-neighbor probes, and compare STR's 3-D
+// tiling against Nearest-X's slabs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"strtree"
+)
+
+func main() {
+	const particles = 60000
+	rng := rand.New(rand.NewSource(1))
+
+	items := make([]strtree.Item, particles)
+	for i := range items {
+		// A filament: particles denser along a diagonal curve, the kind
+		// of structure an n-body snapshot has.
+		var x, y, z float64
+		if rng.Intn(3) > 0 {
+			t := rng.Float64()
+			x = clamp(t + rng.NormFloat64()*0.05)
+			y = clamp(t*t + rng.NormFloat64()*0.05)
+			z = clamp(0.5 + 0.4*(t-0.5) + rng.NormFloat64()*0.05)
+		} else {
+			x, y, z = rng.Float64(), rng.Float64(), rng.Float64()
+		}
+		lo := strtree.Point{x, y, z}
+		hi := strtree.Point{clamp(x + 0.002), clamp(y + 0.002), clamp(z + 0.002)}
+		r, err := strtree.NewRect(lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		items[i] = strtree.Item{Rect: r, ID: uint64(i)}
+	}
+
+	fmt.Printf("%-8s %8s %14s\n", "packing", "height", "accesses/query")
+	for _, p := range []strtree.Packing{strtree.PackSTR, strtree.PackNearestX} {
+		tree, err := strtree.New(strtree.Options{Dims: 3, BufferPages: 32})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tree.BulkLoad(append([]strtree.Item(nil), items...), p); err != nil {
+			log.Fatal(err)
+		}
+		if err := tree.DropCaches(); err != nil {
+			log.Fatal(err)
+		}
+		tree.ResetStats()
+		const queries = 400
+		for i := 0; i < queries; i++ {
+			lo := strtree.Point{rng.Float64() * 0.9, rng.Float64() * 0.9, rng.Float64() * 0.9}
+			hi := strtree.Point{lo[0] + 0.1, lo[1] + 0.1, lo[2] + 0.1}
+			q, err := strtree.NewRect(lo, hi)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := tree.Count(q); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%-8s %8d %14.2f\n",
+			p, tree.Height(), float64(tree.Stats().DiskReads)/queries)
+
+		if p == strtree.PackSTR {
+			// Nearest neighbors work in any dimension.
+			probe := strtree.Point{0.5, 0.25, 0.5}
+			nn, dists, err := tree.NearestK(probe, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n3 nearest particles to %v:\n", probe)
+			for i, it := range nn {
+				fmt.Printf("  id=%-6d dist=%.4f\n", it.ID, dists[i])
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nSTR's recursive slabs tile the cube; NX's x-slabs span full y-z planes.")
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+// Tuning example: how a user picks an index configuration for their own
+// workload using nothing but the public API — the paper's methodology in
+// miniature. It measures disk accesses per query for a grid of packing
+// algorithm x buffer size combinations over the user's data and queries,
+// then prints the grid so the trade-offs are visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"strtree"
+)
+
+func main() {
+	// Stand-in for "the user's data": 30,000 clustered rectangles (a mix
+	// the paper would call mildly skewed).
+	rng := rand.New(rand.NewSource(1))
+	items := make([]strtree.Item, 30000)
+	for i := range items {
+		var x, y float64
+		if rng.Intn(3) == 0 { // cluster
+			x = 0.3 + rng.NormFloat64()*0.05
+			y = 0.6 + rng.NormFloat64()*0.05
+		} else {
+			x, y = rng.Float64(), rng.Float64()
+		}
+		x, y = clamp(x), clamp(y)
+		r, err := strtree.NewRect(
+			strtree.Pt2(x, y),
+			strtree.Pt2(clamp(x+0.005), clamp(y+0.005)),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		items[i] = strtree.Item{Rect: r, ID: uint64(i)}
+	}
+
+	// Stand-in for "the user's queries": 2% x 2% windows biased toward
+	// the cluster, like map views over a downtown.
+	queries := make([]strtree.Rect, 500)
+	for i := range queries {
+		var x, y float64
+		if rng.Intn(2) == 0 {
+			x = clamp(0.3 + rng.NormFloat64()*0.08)
+			y = clamp(0.6 + rng.NormFloat64()*0.08)
+		} else {
+			x, y = rng.Float64()*0.98, rng.Float64()*0.98
+		}
+		q, err := strtree.NewRect(
+			strtree.Pt2(x, y),
+			strtree.Pt2(clamp(x+0.02), clamp(y+0.02)),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries[i] = q
+	}
+
+	packings := []strtree.Packing{strtree.PackSTR, strtree.PackHilbert, strtree.PackTGS}
+	buffers := []int{8, 32, 128}
+
+	fmt.Printf("%-10s", "packing")
+	for _, b := range buffers {
+		fmt.Printf("  buf=%-6d", b)
+	}
+	fmt.Println(" (disk accesses per query, lower is better)")
+
+	for _, p := range packings {
+		fmt.Printf("%-10s", p)
+		for _, buf := range buffers {
+			tree, err := strtree.New(strtree.Options{Capacity: 100, BufferPages: buf})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tree.BulkLoad(append([]strtree.Item(nil), items...), p); err != nil {
+				log.Fatal(err)
+			}
+			if err := tree.DropCaches(); err != nil {
+				log.Fatal(err)
+			}
+			tree.ResetStats()
+			for _, q := range queries {
+				if _, err := tree.Count(q); err != nil {
+					log.Fatal(err)
+				}
+			}
+			acc := float64(tree.Stats().DiskReads) / float64(len(queries))
+			fmt.Printf("  %-10.2f", acc)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nPick the cheapest cell your memory budget allows; rerun with your")
+	fmt.Println("own items and queries to tune for your workload.")
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,114 @@
+package strtree
+
+import (
+	"testing"
+)
+
+func itemSource(items []Item) func() (Item, bool) {
+	i := 0
+	return func() (Item, bool) {
+		if i >= len(items) {
+			return Item{}, false
+		}
+		it := items[i]
+		i++
+		return it, true
+	}
+}
+
+func TestBulkLoadExternalMatchesInMemory(t *testing.T) {
+	items := randItems(8000, 61)
+	inMem, err := New(Options{Capacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inMem.BulkLoad(append([]Item(nil), items...), PackSTR); err != nil {
+		t.Fatal(err)
+	}
+
+	ext, err := New(Options{Capacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RunSize 500 forces multiple spill runs for 8000 items.
+	if err := ext.BulkLoadExternal(itemSource(items), ExternalOptions{RunSize: 500, TmpDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if ext.Len() != inMem.Len() || ext.Height() != inMem.Height() {
+		t.Fatalf("external len %d height %d, in-memory len %d height %d",
+			ext.Len(), ext.Height(), inMem.Len(), inMem.Height())
+	}
+	if err := ext.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Same structure quality: leaf metrics match the in-memory build.
+	a, err := inMem.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ext.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LeafNodes != b.LeafNodes {
+		t.Fatalf("leaf nodes %d vs %d", a.LeafNodes, b.LeafNodes)
+	}
+	if diff := b.LeafArea - a.LeafArea; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("leaf areas differ: %g vs %g", a.LeafArea, b.LeafArea)
+	}
+	// Same answers.
+	for _, q := range []Rect{R2(0, 0, 0.2, 0.9), R2(0.3, 0.3, 0.7, 0.7)} {
+		ca, err := inMem.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := ext.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca != cb {
+			t.Fatalf("counts for %v differ: %d vs %d", q, ca, cb)
+		}
+	}
+}
+
+func TestBulkLoadExternalGuards(t *testing.T) {
+	tree, err := New(Options{Dims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoadExternal(itemSource(nil), ExternalOptions{}); err == nil {
+		t.Fatal("3-D external load accepted")
+	}
+	t2, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := t2.View(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.BulkLoadExternal(itemSource(nil), ExternalOptions{}); err != ErrReadOnly {
+		t.Fatalf("view external load: %v", err)
+	}
+	// Non-empty tree rejected through the stream path too.
+	if err := t2.Insert(R2(0, 0, 0.1, 0.1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.BulkLoadExternal(itemSource(randItems(10, 62)), ExternalOptions{RunSize: 4, TmpDir: t.TempDir()}); err == nil {
+		t.Fatal("non-empty tree accepted")
+	}
+}
+
+func TestBulkLoadExternalEmpty(t *testing.T) {
+	tree, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoadExternal(itemSource(nil), ExternalOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("len = %d", tree.Len())
+	}
+}

@@ -1,0 +1,3 @@
+module strtree
+
+go 1.22

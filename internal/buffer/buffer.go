@@ -1,0 +1,429 @@
+// Package buffer implements the LRU buffer manager of the paper's
+// experimental methodology (Section 3). All R-tree page requests go through
+// a Pool; a request that misses the pool is a disk access, the paper's
+// primary comparison metric. The pool writes evicted dirty pages straight
+// back to the pager, mirroring the paper's raw-partition setup in which an
+// evicted node "is immediately written to disk and not false-buffered by
+// the operating system's virtual memory manager".
+//
+// The paper uses plain LRU for all nodes regardless of level. It discusses
+// , and cites [8] to reject, pinning the root and the first few levels; the
+// Pool supports such pinning anyway (SetResident) so the repository can
+// reproduce that ablation.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"strtree/internal/storage"
+)
+
+// ErrPoolExhausted is returned by Fetch when every frame is pinned and no
+// page can be evicted to make room.
+var ErrPoolExhausted = errors.New("buffer: all frames pinned")
+
+// Stats are the pool's access counters. DiskReads is the paper's "number of
+// disk accesses" metric; LogicalReads-DiskReads is the number of buffer
+// hits.
+type Stats struct {
+	LogicalReads int64 // Fetch calls
+	DiskReads    int64 // Fetch misses that went to the pager
+	DiskWrites   int64 // dirty evictions + flushes written to the pager
+	Evictions    int64 // frames evicted to make room
+}
+
+// Policy selects the pool's replacement algorithm.
+type Policy uint8
+
+const (
+	// LRU evicts the least recently used page — the paper's policy.
+	LRU Policy = iota
+	// Clock is the second-chance approximation of LRU common in real
+	// buffer managers; provided for the replacement-policy ablation.
+	Clock
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Frame is a buffered page. The frame's bytes are owned by the pool; a
+// caller may read and write Data between Fetch and Release but must not
+// retain it afterwards.
+type Frame struct {
+	id    storage.PageID
+	data  []byte
+	pins  int
+	dirty bool
+	// resident frames are never evicted (pinned-levels ablation).
+	resident   bool
+	prev, next *Frame // LRU list links, guarded by the pool mutex
+	ref        bool   // Clock reference bit
+	slot       int    // Clock frame index
+}
+
+// ID returns the page the frame holds.
+func (f *Frame) ID() storage.PageID { return f.id }
+
+// Data returns the page bytes. Valid only while the frame is pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the caller modified Data, so the page must reach
+// the pager before eviction.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Pool is a fixed-capacity LRU cache of pages over a storage.Pager. It is
+// safe for concurrent use. The zero value is not usable; call NewPool.
+type Pool struct {
+	mu       sync.Mutex
+	pager    storage.Pager
+	capacity int
+	policy   Policy
+	frames   map[storage.PageID]*Frame
+	// Intrusive LRU list with a sentinel: head.next is most recently used,
+	// head.prev is least recently used. Maintained only under LRU.
+	head Frame
+	// Clock state: fixed frame slots and the sweep hand. Maintained only
+	// under Clock.
+	clock []*Frame
+	hand  int
+	stats Stats
+	// tracer, when set, observes every Fetch (page id and whether it hit).
+	tracer func(id storage.PageID, hit bool)
+}
+
+// SetTracer installs an observer called on every Fetch with the page id
+// and whether the request hit the pool. Used to record access traces for
+// offline replacement-policy simulation (package trace). Pass nil to
+// remove. The callback runs under the pool mutex: keep it trivial.
+func (p *Pool) SetTracer(fn func(id storage.PageID, hit bool)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = fn
+}
+
+// NewPool creates an LRU pool with room for capacity pages. Capacity must
+// be at least 1; the paper's experiments range from 10 to 500 pages.
+func NewPool(pager storage.Pager, capacity int) *Pool {
+	return NewPoolWithPolicy(pager, capacity, LRU)
+}
+
+// NewPoolWithPolicy creates a pool using the given replacement policy.
+func NewPoolWithPolicy(pager storage.Pager, capacity int, policy Policy) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("buffer: capacity %d < 1", capacity))
+	}
+	p := &Pool{
+		pager:    pager,
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[storage.PageID]*Frame, capacity),
+	}
+	p.head.next = &p.head
+	p.head.prev = &p.head
+	return p
+}
+
+// Policy returns the pool's replacement policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// Capacity returns the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Pager returns the underlying pager.
+func (p *Pool) Pager() storage.Pager { return p.pager }
+
+// Fetch pins the page in the pool, reading it from the pager on a miss, and
+// returns its frame. Every Fetch must be paired with a Release.
+func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.LogicalReads++
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		p.touch(f)
+		if p.tracer != nil {
+			p.tracer(id, true)
+		}
+		return f, nil
+	}
+	if p.tracer != nil {
+		p.tracer(id, false)
+	}
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.pager.ReadPage(id, f.data); err != nil {
+		p.freeFrameLocked(f)
+		return nil, err
+	}
+	p.stats.DiskReads++
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.resident = false
+	p.frames[id] = f
+	p.link(f)
+	return f, nil
+}
+
+// Create pins a brand-new page: it allocates a page in the pager and a
+// zeroed frame for it without performing a disk read (the page contents are
+// about to be written). The returned frame is dirty.
+func (p *Pool) Create() (*Frame, error) {
+	id, err := p.pager.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = true
+	f.resident = false
+	p.frames[id] = f
+	p.link(f)
+	return f, nil
+}
+
+// Release unpins a frame obtained from Fetch or Create. Releasing an
+// unpinned frame panics: it indicates a double-release bug in the caller.
+func (p *Pool) Release(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: release of unpinned page %d", f.id))
+	}
+	f.pins--
+}
+
+// SetResident loads the given pages (counting any misses as disk reads) and
+// marks them permanently resident: they are never evicted. This implements
+// the pin-the-top-levels policy the paper discusses in Section 3. The
+// resident set must be smaller than the pool capacity.
+func (p *Pool) SetResident(ids []storage.PageID) error {
+	if len(ids) >= p.capacity {
+		return fmt.Errorf("buffer: resident set %d >= capacity %d", len(ids), p.capacity)
+	}
+	for _, id := range ids {
+		f, err := p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		f.resident = true
+		f.pins--
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// FlushAll writes every dirty frame to the pager. Frames stay cached.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := p.pager.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+		p.stats.DiskWrites++
+	}
+	return nil
+}
+
+// Invalidate drops every frame, writing back dirty ones first. Used between
+// experiment phases to cold-start the buffer.
+func (p *Pool) Invalidate() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: invalidate with page %d pinned", id)
+		}
+		if f.dirty {
+			if err := p.pager.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			p.stats.DiskWrites++
+		}
+		if p.policy == LRU {
+			p.unlink(f)
+		}
+		delete(p.frames, id)
+	}
+	if p.policy == Clock {
+		p.clock = p.clock[:0]
+		p.hand = 0
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters. The experiments build the tree, reset,
+// then measure queries only.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Resident returns how many frames are currently cached (for tests).
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// allocFrameLocked returns a frame not in the table, evicting per the
+// pool's policy if it is full.
+func (p *Pool) allocFrameLocked() (*Frame, error) {
+	if p.policy == Clock {
+		// Reuse a slot orphaned by a failed read before growing the ring
+		// or evicting: ring slots, not the frame table, bound Clock
+		// capacity.
+		for _, f := range p.clock {
+			if f.id == storage.NilPage && f.pins == 0 {
+				return f, nil
+			}
+		}
+		if len(p.clock) < p.capacity {
+			return &Frame{data: make([]byte, p.pager.PageSize()), slot: -1}, nil
+		}
+		return p.evictClockLocked()
+	}
+	if len(p.frames) < p.capacity {
+		return &Frame{data: make([]byte, p.pager.PageSize()), slot: -1}, nil
+	}
+	// LRU: walk from least recently used towards the front looking for an
+	// unpinned, non-resident victim.
+	for f := p.head.prev; f != &p.head; f = f.prev {
+		if f.pins > 0 || f.resident {
+			continue
+		}
+		if err := p.writeBackLocked(f); err != nil {
+			return nil, err
+		}
+		p.unlink(f)
+		delete(p.frames, f.id)
+		p.stats.Evictions++
+		return f, nil
+	}
+	return nil, ErrPoolExhausted
+}
+
+// evictClockLocked sweeps the clock hand, giving referenced frames a
+// second chance, and evicts the first unreferenced unpinned frame. Two
+// full sweeps with no victim means everything is pinned or resident.
+func (p *Pool) evictClockLocked() (*Frame, error) {
+	for i := 0; i <= 2*len(p.clock); i++ {
+		f := p.clock[p.hand]
+		p.hand = (p.hand + 1) % len(p.clock)
+		if f.pins > 0 || f.resident {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if err := p.writeBackLocked(f); err != nil {
+			return nil, err
+		}
+		delete(p.frames, f.id)
+		p.stats.Evictions++
+		return f, nil
+	}
+	return nil, ErrPoolExhausted
+}
+
+// writeBackLocked flushes a dirty victim before eviction.
+func (p *Pool) writeBackLocked(f *Frame) error {
+	if !f.dirty {
+		return nil
+	}
+	if err := p.pager.WritePage(f.id, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	p.stats.DiskWrites++
+	return nil
+}
+
+// touch records a hit per the policy.
+func (p *Pool) touch(f *Frame) {
+	if p.policy == Clock {
+		f.ref = true
+		return
+	}
+	p.moveToFront(f)
+}
+
+// link publishes a frame that just received a page.
+func (p *Pool) link(f *Frame) {
+	if p.policy == Clock {
+		f.ref = true
+		if f.slot < 0 {
+			f.slot = len(p.clock)
+			p.clock = append(p.clock, f)
+		}
+		return
+	}
+	p.pushFront(f)
+}
+
+// freeFrameLocked discards a frame allocated by allocFrameLocked that was
+// never published (e.g. the pager read failed). A Clock-evicted frame
+// stays in the ring, so its stale id must be neutralized: otherwise a
+// later sweep of this slot would delete the mapping of whichever frame
+// now legitimately holds that page.
+func (p *Pool) freeFrameLocked(f *Frame) {
+	f.id = storage.NilPage
+	f.ref = false
+	f.dirty = false
+}
+
+func (p *Pool) pushFront(f *Frame) {
+	f.next = p.head.next
+	f.prev = &p.head
+	p.head.next.prev = f
+	p.head.next = f
+}
+
+func (p *Pool) unlink(f *Frame) {
+	f.prev.next = f.next
+	f.next.prev = f.prev
+	f.prev = nil
+	f.next = nil
+}
+
+func (p *Pool) moveToFront(f *Frame) {
+	p.unlink(f)
+	p.pushFront(f)
+}

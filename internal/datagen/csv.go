@@ -1,0 +1,59 @@
+package datagen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"strtree/internal/node"
+)
+
+// WriteCSV writes entries as "x0,y0,x1,y1,id" rows, the format
+// cmd/strload consumes. Only 2-D entries are supported.
+func WriteCSV(w io.Writer, entries []node.Entry) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 5)
+	for _, e := range entries {
+		if e.Rect.Dim() != 2 {
+			return fmt.Errorf("datagen: WriteCSV supports 2-D entries, got %d-D", e.Rect.Dim())
+		}
+		rec[0] = strconv.FormatFloat(e.Rect.Min[0], 'g', -1, 64)
+		rec[1] = strconv.FormatFloat(e.Rect.Min[1], 'g', -1, 64)
+		rec[2] = strconv.FormatFloat(e.Rect.Max[0], 'g', -1, 64)
+		rec[3] = strconv.FormatFloat(e.Rect.Max[1], 'g', -1, 64)
+		rec[4] = strconv.FormatUint(e.Ref, 10)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Catalog maps data-set names to their generators at paper sizes, for
+// tools that let the user pick a data set by name.
+func Catalog() map[string]func(r int, seed int64) []node.Entry {
+	return map[string]func(r int, seed int64) []node.Entry{
+		"uniform": func(r int, seed int64) []node.Entry { return UniformSquares(r, 5.0, seed) },
+		"points":  UniformPoints,
+		"tiger":   Tiger,
+		"vlsi":    VLSI,
+		"cfd":     CFD,
+	}
+}
+
+// DefaultSize returns the paper's size for a catalog data set (50,000 for
+// the synthetic families).
+func DefaultSize(name string) int {
+	switch name {
+	case "tiger":
+		return TigerSize
+	case "vlsi":
+		return VLSISize
+	case "cfd":
+		return CFDSize
+	default:
+		return 50000
+	}
+}

@@ -1,0 +1,67 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+func TestWriteCSV(t *testing.T) {
+	entries := []node.Entry{
+		{Rect: geom.R2(0.1, 0.2, 0.3, 0.4), Ref: 7},
+		{Rect: geom.R2(0, 0, 1, 1), Ref: 8},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines", len(lines))
+	}
+	if lines[0] != "0.1,0.2,0.3,0.4,7" {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if lines[1] != "0,0,1,1,8" {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+}
+
+func TestWriteCSVRejects3D(t *testing.T) {
+	entries := []node.Entry{{Rect: geom.UnitCube(3), Ref: 1}}
+	if err := WriteCSV(&bytes.Buffer{}, entries); err == nil {
+		t.Fatal("3-D entry accepted")
+	}
+}
+
+func TestCatalogCoversPaperFamilies(t *testing.T) {
+	cat := Catalog()
+	for _, name := range []string{"uniform", "points", "tiger", "vlsi", "cfd"} {
+		gen, ok := cat[name]
+		if !ok {
+			t.Fatalf("catalog missing %q", name)
+		}
+		entries := gen(50, 1)
+		if len(entries) != 50 {
+			t.Fatalf("%s generated %d items", name, len(entries))
+		}
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	cases := map[string]int{
+		"tiger":   TigerSize,
+		"vlsi":    VLSISize,
+		"cfd":     CFDSize,
+		"uniform": 50000,
+		"points":  50000,
+	}
+	for name, want := range cases {
+		if got := DefaultSize(name); got != want {
+			t.Errorf("DefaultSize(%q) = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+func inUnitSquare(t *testing.T, entries []node.Entry) {
+	t.Helper()
+	u := geom.UnitSquare()
+	for i, e := range entries {
+		if !e.Rect.Valid() {
+			t.Fatalf("entry %d invalid: %v", i, e.Rect)
+		}
+		if !u.Contains(e.Rect) {
+			t.Fatalf("entry %d outside unit square: %v", i, e.Rect)
+		}
+	}
+}
+
+func totalArea(entries []node.Entry) float64 {
+	a := 0.0
+	for _, e := range entries {
+		a += e.Rect.Area()
+	}
+	return a
+}
+
+func TestUniformSquaresDensity(t *testing.T) {
+	// Paper: density = sum of areas. Interior clamping loses a little, so
+	// allow 15% slack.
+	for _, d := range []float64{1.0, 2.5, 5.0} {
+		entries := UniformSquares(20000, d, 1)
+		if len(entries) != 20000 {
+			t.Fatalf("len = %d", len(entries))
+		}
+		inUnitSquare(t, entries)
+		got := totalArea(entries)
+		if got < d*0.80 || got > d*1.05 {
+			t.Fatalf("density %g: total area %g", d, got)
+		}
+	}
+}
+
+func TestUniformPointsAreDegenerate(t *testing.T) {
+	entries := UniformPoints(1000, 2)
+	inUnitSquare(t, entries)
+	for i, e := range entries {
+		if e.Rect.Area() != 0 || !e.Rect.Min.Equal(e.Rect.Max) {
+			t.Fatalf("entry %d is not a point: %v", i, e.Rect)
+		}
+	}
+	if totalArea(entries) != 0 {
+		t.Fatal("point data has nonzero density")
+	}
+}
+
+func TestUniformCoverageIsUniform(t *testing.T) {
+	// Chi-square-ish sanity: each quadrant holds 25% +- 3% of the points.
+	entries := UniformPoints(40000, 3)
+	var q [4]int
+	for _, e := range entries {
+		i := 0
+		if e.Rect.Min[0] > 0.5 {
+			i++
+		}
+		if e.Rect.Min[1] > 0.5 {
+			i += 2
+		}
+		q[i]++
+	}
+	for i, n := range q {
+		frac := float64(n) / 40000
+		if frac < 0.22 || frac > 0.28 {
+			t.Fatalf("quadrant %d has fraction %.3f", i, frac)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gens := map[string]func(seed int64) []node.Entry{
+		"uniform": func(s int64) []node.Entry { return UniformSquares(500, 2, s) },
+		"tiger":   func(s int64) []node.Entry { return Tiger(500, s) },
+		"vlsi":    func(s int64) []node.Entry { return VLSI(500, s) },
+		"cfd":     func(s int64) []node.Entry { return CFD(500, s) },
+	}
+	for name, gen := range gens {
+		a, b := gen(42), gen(42)
+		for i := range a {
+			if !a[i].Rect.Equal(b[i].Rect) {
+				t.Fatalf("%s: run differs at entry %d", name, i)
+			}
+		}
+		c := gen(43)
+		same := true
+		for i := range a {
+			if !a[i].Rect.Equal(c[i].Rect) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical data", name)
+		}
+	}
+}
+
+func TestTigerShape(t *testing.T) {
+	entries := Tiger(20000, 4)
+	if len(entries) != 20000 {
+		t.Fatalf("len = %d", len(entries))
+	}
+	inUnitSquare(t, entries)
+	// Line segments: thin boxes, tiny total area.
+	if a := totalArea(entries); a > 0.5 {
+		t.Fatalf("segment data has area %g", a)
+	}
+	// Mild skew: the densest of a 4x4 grid of cells should hold well more
+	// than 1/16 of the segments but not the majority.
+	counts := gridCounts(entries, 4)
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	frac := float64(max) / float64(len(entries))
+	if frac < 0.10 || frac > 0.50 {
+		t.Fatalf("densest cell fraction %.3f, want mild skew in [0.10, 0.50]", frac)
+	}
+}
+
+func TestVLSIShape(t *testing.T) {
+	entries := VLSI(30000, 5)
+	inUnitSquare(t, entries)
+	// Size skew: largest/smallest area ratio must span about the paper's
+	// 40,000x (normalization rescales, so compare within the set).
+	minA, maxA := math.Inf(1), 0.0
+	for _, e := range entries {
+		a := e.Rect.Area()
+		if a <= 0 {
+			continue
+		}
+		minA = math.Min(minA, a)
+		maxA = math.Max(maxA, a)
+	}
+	if ratio := maxA / minA; ratio < 1000 {
+		t.Fatalf("size ratio only %.0f, want heavy size skew", ratio)
+	}
+	// Location skew: some cells of an 8x8 grid empty or nearly so, one
+	// cell holding a big share.
+	counts := gridCounts(entries, 8)
+	max, empties := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < 30000/640 { // under a tenth of the uniform share
+			empties++
+		}
+	}
+	if float64(max)/30000 < 0.10 {
+		t.Fatalf("densest cell only %.3f of data, want strong clustering", float64(max)/30000)
+	}
+	if empties < 8 {
+		t.Fatalf("only %d near-empty cells, want empty regions like a real die", empties)
+	}
+}
+
+func TestCFDShape(t *testing.T) {
+	entries := CFD(CFDSmallSize, 6)
+	if len(entries) != CFDSmallSize {
+		t.Fatalf("len = %d", len(entries))
+	}
+	inUnitSquare(t, entries)
+	// All points, none inside the bodies.
+	for i, e := range entries {
+		if e.Rect.Area() != 0 {
+			t.Fatalf("entry %d not a point", i)
+		}
+		x, y := e.Rect.Min[0], e.Rect.Min[1]
+		for _, b := range cfdBodies {
+			if b.contains(x, y) {
+				t.Fatalf("entry %d inside a body at (%g, %g)", i, x, y)
+			}
+		}
+	}
+	// The majority of the data sits in the paper's restricted query box.
+	box := CFDQueryRegion()
+	in := 0
+	for _, e := range entries {
+		if box.ContainsPoint(e.Rect.Min) {
+			in++
+		}
+	}
+	if frac := float64(in) / float64(len(entries)); frac < 0.55 {
+		t.Fatalf("only %.2f of CFD points in the query box, paper says the majority", frac)
+	}
+}
+
+func TestCFDQueryRegion(t *testing.T) {
+	if !CFDQueryRegion().Equal(geom.R2(0.48, 0.48, 0.6, 0.6)) {
+		t.Fatal("CFD query region drifted from the paper's box")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	entries := []node.Entry{
+		{Rect: geom.R2(10, 100, 20, 150)},
+		{Rect: geom.R2(30, 200, 50, 300)},
+	}
+	Normalize(entries)
+	mbr := geom.MBR([]geom.Rect{entries[0].Rect, entries[1].Rect})
+	if !mbr.Equal(geom.UnitSquare()) {
+		t.Fatalf("normalized MBR = %v", mbr)
+	}
+	// Relative geometry preserved: first rect is the left quarter in x.
+	if got := entries[0].Rect.Max[0]; math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("x scale broken: %g", got)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	// All on one vertical line: x axis collapses to 0.5.
+	entries := []node.Entry{
+		{Rect: geom.R2(3, 1, 3, 2)},
+		{Rect: geom.R2(3, 5, 3, 9)},
+	}
+	Normalize(entries)
+	for i, e := range entries {
+		if e.Rect.Min[0] != 0.5 || e.Rect.Max[0] != 0.5 {
+			t.Fatalf("entry %d x = [%g, %g]", i, e.Rect.Min[0], e.Rect.Max[0])
+		}
+	}
+	if Normalize(nil) != nil {
+		t.Fatal("Normalize(nil) != nil")
+	}
+}
+
+// gridCounts counts entry centers per cell of a g x g grid.
+func gridCounts(entries []node.Entry, g int) []int {
+	counts := make([]int, g*g)
+	for _, e := range entries {
+		x := int(e.Rect.CenterAxis(0) * float64(g))
+		y := int(e.Rect.CenterAxis(1) * float64(g))
+		if x >= g {
+			x = g - 1
+		}
+		if y >= g {
+			y = g - 1
+		}
+		counts[y*g+x]++
+	}
+	return counts
+}
+
+func BenchmarkUniformSquares50k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		UniformSquares(50000, 5, int64(i))
+	}
+}
+
+func BenchmarkCFD50k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CFD(50000, int64(i))
+	}
+}

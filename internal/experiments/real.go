@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"strtree/internal/datagen"
+	"strtree/internal/geom"
+	"strtree/internal/metrics"
+	"strtree/internal/node"
+	"strtree/internal/query"
+	"strtree/internal/rtree"
+)
+
+func init() {
+	Register("table5", Table5)
+	Register("table6", func(c Config) (*Table, error) {
+		return metricTable(c, "Table 6", "Tiger Long Beach Data, Areas and Perimeters",
+			datagen.Tiger(c.size(datagen.TigerSize), c.Seed))
+	})
+	Register("table7", Table7)
+	Register("table8", func(c Config) (*Table, error) {
+		return metricTable(c, "Table 8", "VLSI Data, Areas and Perimeters",
+			datagen.VLSI(c.size(datagen.VLSISize), c.Seed))
+	})
+	Register("table9", Table9)
+	Register("table10", func(c Config) (*Table, error) {
+		return metricTable(c, "Table 10", "CFD Node Data Set, Areas and Perimeters",
+			datagen.CFD(c.size(datagen.CFDSize), c.Seed))
+	})
+	Register("fig10", Fig10)
+	Register("fig11", Fig11)
+	Register("fig12", Fig12)
+}
+
+// workload is one labelled query batch.
+type workload struct {
+	label   string
+	queries []geom.Rect
+}
+
+// fullSpaceWorkloads is the standard point / 1% / 9% trio over the unit
+// square.
+func fullSpaceWorkloads(cfg Config) []workload {
+	return []workload{
+		{"Point Queries", query.Points(cfg.Queries, cfg.Seed+100)},
+		{"Region Queries, Query Region = 1% of Data", query.Regions(cfg.Queries, query.Extent1Pct, cfg.Seed+101)},
+		{"Region Queries, Query Region = 9% of Data", query.Regions(cfg.Queries, query.Extent9Pct, cfg.Seed+102)},
+	}
+}
+
+// cfdWorkloads restricts point and region queries to the paper's box
+// around the wing, with region extents 0.01 and 0.03 truncated at the box
+// boundary ("This area roughly corresponds to the 1% and 9% of the data
+// region used in the other experiments").
+func cfdWorkloads(cfg Config) []workload {
+	box := datagen.CFDQueryRegion()
+	return []workload{
+		{"Point Queries", query.PointsIn(cfg.Queries, box, cfg.Seed+110)},
+		{"Region Queries, Query Region Area = 0.0001", query.RegionsIn(cfg.Queries, box, 0.01, cfg.Seed+111)},
+		{"Region Queries, Query Region Area = 0.0009", query.RegionsIn(cfg.Queries, box, 0.03, cfg.Seed+112)},
+	}
+}
+
+// bufferSweep builds each algorithm's tree at every buffer size and
+// reports accesses per query for every workload: the shape of Tables 5, 7
+// and 9.
+func bufferSweep(cfg Config, id, title string, entries []node.Entry, paperBuffers []int, workloads []workload) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Note:   scaleNote(cfg),
+		Header: []string{"Query Class", "Buffer Size", "STR", "HS", "NX", "HS/STR", "NX/STR"},
+	}
+	type res struct{ acc [3]float64 }
+	results := make([][]res, len(workloads))
+	buffers := dedupBuffers(cfg, paperBuffers)
+	for _, buf := range buffers {
+		// Build the three trees once per buffer size, then run every
+		// workload against them.
+		var algTrees [3]*rtree.Tree
+		for ai, alg := range PaperAlgorithms() {
+			tr, err := BuildPacked(entries, alg.Orderer, buf, cfg.Capacity)
+			if err != nil {
+				return nil, err
+			}
+			algTrees[ai] = tr
+		}
+		for wi, w := range workloads {
+			var r res
+			for ai := range algTrees {
+				acc, err := AvgAccesses(algTrees[ai], w.queries)
+				if err != nil {
+					return nil, err
+				}
+				r.acc[ai] = acc
+			}
+			results[wi] = append(results[wi], r)
+		}
+	}
+	for wi, w := range workloads {
+		for bi, r := range results[wi] {
+			t.Rows = append(t.Rows, []string{
+				w.label, fmt.Sprintf("%d", buffers[bi]),
+				f2(r.acc[0]), f2(r.acc[1]), f2(r.acc[2]),
+				ratio(r.acc[1], r.acc[0]), ratio(r.acc[2], r.acc[0]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// dedupBuffers scales the paper's buffer sizes and removes duplicates
+// introduced by the 3-page floor at small scales, preserving order.
+func dedupBuffers(cfg Config, paperBuffers []int) []int {
+	seen := map[int]bool{}
+	out := make([]int, 0, len(paperBuffers))
+	for _, pb := range paperBuffers {
+		buf := cfg.bufPages(pb)
+		if seen[buf] {
+			continue
+		}
+		seen[buf] = true
+		out = append(out, buf)
+	}
+	return out
+}
+
+// metricTable builds the three packed trees over one data set and reports
+// leaf/total area and perimeter: the shape of Tables 6, 8 and 10.
+func metricTable(cfg Config, id, title string, entries []node.Entry) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Note:   scaleNote(cfg),
+		Header: []string{"Metric", "STR", "HS", "NX"},
+	}
+	var ms [3]metrics.TreeMetrics
+	for ai, alg := range PaperAlgorithms() {
+		tr, err := BuildPacked(entries, alg.Orderer, 64, cfg.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		m, err := metrics.Measure(tr)
+		if err != nil {
+			return nil, err
+		}
+		ms[ai] = m
+	}
+	rows := []struct {
+		label string
+		get   func(metrics.TreeMetrics) float64
+	}{
+		{"leaf area", func(m metrics.TreeMetrics) float64 { return m.LeafArea }},
+		{"total area", func(m metrics.TreeMetrics) float64 { return m.TotalArea }},
+		{"leaf perimeter", func(m metrics.TreeMetrics) float64 { return m.LeafMargin }},
+		{"total perimeter", func(m metrics.TreeMetrics) float64 { return m.TotalMargin }},
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{row.label, f2(row.get(ms[0])), f2(row.get(ms[1])), f2(row.get(ms[2]))})
+	}
+	return t, nil
+}
+
+// Table5 reproduces the Long Beach disk-access table across buffer sizes.
+func Table5(cfg Config) (*Table, error) {
+	entries := datagen.Tiger(cfg.size(datagen.TigerSize), cfg.Seed)
+	return bufferSweep(cfg, "Table 5",
+		"Number of Disk Accesses, Long Beach Data, Point and Region Queries and Different Buffer Sizes",
+		entries, []int{10, 25, 50, 100, 250}, fullSpaceWorkloads(cfg))
+}
+
+// Table7 reproduces the VLSI disk-access table across buffer sizes.
+func Table7(cfg Config) (*Table, error) {
+	entries := datagen.VLSI(cfg.size(datagen.VLSISize), cfg.Seed)
+	return bufferSweep(cfg, "Table 7",
+		"Number of Disk Accesses, VLSI Data, Buffer Size Varied for Point and Region Queries",
+		entries, []int{10, 25, 50, 100, 250, 500}, fullSpaceWorkloads(cfg))
+}
+
+// Table9 reproduces the CFD disk-access table across buffer sizes, with
+// the paper's restricted query area around the wing.
+func Table9(cfg Config) (*Table, error) {
+	entries := datagen.CFD(cfg.size(datagen.CFDSize), cfg.Seed)
+	return bufferSweep(cfg, "Table 9",
+		"Number of Disk Accesses, CFD Node Data, Buffer Size Varied for Point and Region Queries",
+		entries, []int{250, 100, 50, 25, 20, 15, 10}, cfdWorkloads(cfg))
+}
+
+// figureSweep renders an access-vs-buffer-size series for chosen
+// algorithms and workloads, the shape of Figures 10-12.
+func figureSweep(cfg Config, id, title string, entries []node.Entry, paperBuffers []int, workloads []workload, algIdx []int) (*Table, error) {
+	header := []string{"Buffer Size"}
+	algs := PaperAlgorithms()
+	for _, w := range workloads {
+		for _, ai := range algIdx {
+			header = append(header, fmt.Sprintf("%s %s", algs[ai].Name, w.label))
+		}
+	}
+	t := &Table{ID: id, Title: title, Note: scaleNote(cfg), Header: header}
+	for _, buf := range dedupBuffers(cfg, paperBuffers) {
+		row := []string{fmt.Sprintf("%d", buf)}
+		trees := make(map[int]*rtree.Tree)
+		for _, ai := range algIdx {
+			tr, err := BuildPacked(entries, algs[ai].Orderer, buf, cfg.Capacity)
+			if err != nil {
+				return nil, err
+			}
+			trees[ai] = tr
+		}
+		for _, w := range workloads {
+			for _, ai := range algIdx {
+				acc, err := AvgAccesses(trees[ai], w.queries)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(acc))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces "Disk Accesses vs Buffer Size for Point Queries on Long
+// Beach Tiger Data" (STR vs HS).
+func Fig10(cfg Config) (*Table, error) {
+	entries := datagen.Tiger(cfg.size(datagen.TigerSize), cfg.Seed)
+	w := fullSpaceWorkloads(cfg)[:1]
+	return figureSweep(cfg, "Figure 10",
+		"Disk Accesses vs Buffer Size for Point Queries on Long Beach Tiger Data",
+		entries, []int{10, 25, 50, 100, 250, 500}, w, []int{0, 1})
+}
+
+// Fig11 reproduces "Disk Accesses vs. Buffer Size for Point and Region
+// Queries on VLSI Data" (STR vs HS for all three workloads).
+func Fig11(cfg Config) (*Table, error) {
+	entries := datagen.VLSI(cfg.size(datagen.VLSISize), cfg.Seed)
+	return figureSweep(cfg, "Figure 11",
+		"Disk Accesses vs. Buffer Size for Point and Region Queries on VLSI Data",
+		entries, []int{10, 25, 50, 100, 250, 500}, fullSpaceWorkloads(cfg), []int{0, 1})
+}
+
+// Fig12 reproduces "Disk Accesses vs. Buffer Size for Point Queries on CFD
+// Data" (STR vs HS at small buffers).
+func Fig12(cfg Config) (*Table, error) {
+	entries := datagen.CFD(cfg.size(datagen.CFDSize), cfg.Seed)
+	w := cfdWorkloads(cfg)[:1]
+	return figureSweep(cfg, "Figure 12",
+		"Disk Accesses vs. Buffer Size for Point Queries on CFD Data",
+		entries, []int{10, 15, 20, 25, 50, 75, 100}, w, []int{0, 1})
+}

@@ -1,0 +1,132 @@
+package experiments
+
+// Shape tests: each paper table's directional claims, asserted at a
+// reduced scale. These are the regression suite for the reproduction
+// itself — if a refactor flips who wins on some data family, these fail.
+
+import (
+	"strings"
+	"testing"
+)
+
+// shapeConfig is larger than tinyConfig so skew effects are visible, but
+// still fast.
+func shapeConfig() Config {
+	return Config{Scale: 0.1, Queries: 300, Capacity: 100, Seed: 3}
+}
+
+// rowsByClass groups a buffer-sweep table's rows by query-class prefix.
+func rowsByClass(tbl *Table) map[string][][]string {
+	out := map[string][][]string{}
+	for _, row := range tbl.Rows {
+		key := "region"
+		if strings.HasPrefix(row[0], "Point") {
+			key = "point"
+		} else if strings.Contains(row[0], "9%") || strings.Contains(row[0], "0.0009") {
+			key = "region9"
+		}
+		out[key] = append(out[key], row)
+	}
+	return out
+}
+
+// TestTable5Shape: tiger (mild skew) — STR beats HS for point queries,
+// near-tie for 9% regions, NX uncompetitive.
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := Table5(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := rowsByClass(tbl)
+	for _, row := range classes["point"] {
+		hsRatio := cell(t, row[5])
+		if hsRatio < 1.05 {
+			t.Errorf("tiger point queries buffer %s: HS/STR %.2f, paper says STR clearly wins", row[1], hsRatio)
+		}
+		if nx := cell(t, row[6]); nx < 1.3 {
+			t.Errorf("tiger point queries buffer %s: NX/STR %.2f, paper says NX uncompetitive", row[1], nx)
+		}
+	}
+	for _, row := range classes["region9"] {
+		if hsRatio := cell(t, row[5]); hsRatio > 1.25 {
+			t.Errorf("tiger 9%% regions buffer %s: HS/STR %.2f, paper says near-tie", row[1], hsRatio)
+		}
+	}
+}
+
+// TestTable7Shape: VLSI (high skew region data) — the reversal: HS at
+// least ties STR for point queries; NX far behind.
+func TestTable7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := Table7(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := rowsByClass(tbl)
+	for _, row := range classes["point"] {
+		// The paper's buffer range starts at 10 pages; our scaled rows
+		// below that are outside its operating envelope (and there STR
+		// retakes the lead).
+		if cell(t, row[1]) < 10 {
+			continue
+		}
+		if hsRatio := cell(t, row[5]); hsRatio > 1.1 {
+			t.Errorf("vlsi point queries buffer %s: HS/STR %.2f, paper says HS ties or wins", row[1], hsRatio)
+		}
+		if nx := cell(t, row[6]); nx < 1.5 {
+			t.Errorf("vlsi point queries buffer %s: NX/STR only %.2f", row[1], nx)
+		}
+	}
+}
+
+// TestTable9Shape: CFD (high skew point data) — the other reversal: STR
+// wins point queries at the smallest buffers.
+func TestTable9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := Table9(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := rowsByClass(tbl)
+	rows := classes["point"]
+	if len(rows) == 0 {
+		t.Fatal("no point-query rows")
+	}
+	// Table 9 lists buffers large-to-small; check the smallest buffer row.
+	last := rows[len(rows)-1]
+	if hsRatio := cell(t, last[5]); hsRatio < 1.0 {
+		t.Errorf("cfd point queries smallest buffer: HS/STR %.2f, paper says STR wins sharply", hsRatio)
+	}
+}
+
+// TestHeadlineClaim asserts the abstract's claim at one operating point:
+// on uniform data STR needs substantially fewer accesses than HS.
+func TestHeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := syntheticAccesses(shapeConfig(), 10, "headline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row[0], "Point") {
+			continue
+		}
+		if r := cell(t, row[5]); r > best {
+			best = r
+		}
+	}
+	// Paper: HS needs up to ~1.4x STR's accesses (STR saves ~30-50%).
+	if best < 1.25 {
+		t.Errorf("best HS/STR on uniform point queries is only %.2f; headline claim not visible", best)
+	}
+}

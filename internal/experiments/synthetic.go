@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+
+	"strtree/internal/datagen"
+	"strtree/internal/geom"
+	"strtree/internal/metrics"
+	"strtree/internal/node"
+	"strtree/internal/query"
+	"strtree/internal/rtree"
+)
+
+func init() {
+	Register("table1", Table1)
+	Register("table2", func(c Config) (*Table, error) { return syntheticAccesses(c, 10, "Table 2") })
+	Register("table3", func(c Config) (*Table, error) { return syntheticAccesses(c, 250, "Table 3") })
+	Register("table4", Table4)
+	Register("fig7", func(c Config) (*Table, error) { return syntheticFigure(c, "Figure 7", qcPoint, 10) })
+	Register("fig8", func(c Config) (*Table, error) { return syntheticFigure(c, "Figure 8", qcPoint, 250) })
+	Register("fig9", func(c Config) (*Table, error) { return syntheticFigure(c, "Figure 9", qcRegion1, 10) })
+}
+
+// paperSizes are the synthetic data-set sizes (rectangles) of Section 4.1.
+var paperSizes = []int{10000, 25000, 50000, 100000, 300000}
+
+// queryClass identifies the paper's three query workloads.
+type queryClass int
+
+const (
+	qcPoint queryClass = iota
+	qcRegion1
+	qcRegion9
+)
+
+func (q queryClass) label() string {
+	switch q {
+	case qcPoint:
+		return "Point Queries"
+	case qcRegion1:
+		return "Region Queries, Query Region = 1% of Data"
+	default:
+		return "Region Queries, Query Region = 9% of Data"
+	}
+}
+
+// queries builds the workload for a class.
+func (q queryClass) queries(n int, seed int64) []geom.Rect {
+	switch q {
+	case qcPoint:
+		return query.Points(n, seed)
+	case qcRegion1:
+		return query.Regions(n, query.Extent1Pct, seed)
+	default:
+		return query.Regions(n, query.Extent9Pct, seed)
+	}
+}
+
+// Table1 reproduces "Percent of R-Tree Held By Buffer": data size, R-tree
+// pages (at fan-out 100), and the percentage a 10-page and a 250-page
+// buffer hold.
+func Table1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Table 1",
+		Title:  "Percent of R-Tree Held By Buffer",
+		Note:   scaleNote(cfg),
+		Header: []string{"Data Size", "R-Tree Pages", fmt.Sprintf("Buffer = %d", cfg.bufPages(10)), fmt.Sprintf("Buffer = %d", cfg.bufPages(250))},
+	}
+	for _, paperSize := range paperSizes {
+		r := cfg.size(paperSize)
+		entries := datagen.UniformPoints(r, cfg.Seed)
+		tr, err := BuildPacked(entries, PaperAlgorithms()[0].Orderer, 64, cfg.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		pages, err := tr.NumNodes()
+		if err != nil {
+			return nil, err
+		}
+		pct := func(buf int) string {
+			p := 100 * float64(buf) / float64(pages)
+			if p > 100 {
+				p = 100
+			}
+			return fmt.Sprintf("%.2f%%", p)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r),
+			fmt.Sprintf("%d", pages),
+			pct(cfg.bufPages(10)),
+			pct(cfg.bufPages(250)),
+		})
+	}
+	return t, nil
+}
+
+// syntheticAccesses reproduces Tables 2 and 3: disk accesses per query on
+// synthetic point data and density-5 region data, for the three packing
+// algorithms across data sizes, at one buffer size.
+func syntheticAccesses(cfg Config, paperBuf int, id string) (*Table, error) {
+	buf := cfg.bufPages(paperBuf)
+	t := &Table{
+		ID:    id,
+		Title: fmt.Sprintf("Number of Disk Accesses, Synthetic Data, Buffersize = %d", buf),
+		Note:  scaleNote(cfg),
+		Header: []string{
+			"Query Class", "Data Size",
+			"STR", "HS", "NX", "HS/STR", "NX/STR", // point data
+			"STR(d5)", "HS(d5)", "NX(d5)", "HS/STR", "NX/STR", // density 5
+		},
+	}
+	type cell struct{ acc [2][3]float64 } // [dataset][algorithm]
+	results := make(map[queryClass][]cell)
+	sizes := make([]int, len(paperSizes))
+	for si, paperSize := range paperSizes {
+		r := cfg.size(paperSize)
+		sizes[si] = r
+		datasets := [2][]node.Entry{
+			datagen.UniformPoints(r, cfg.Seed),
+			datagen.UniformSquares(r, 5.0, cfg.Seed+1),
+		}
+		// Build all six trees for this size once; reuse across classes.
+		var trees [2][3]*rtree.Tree
+		for di, data := range datasets {
+			for ai, alg := range PaperAlgorithms() {
+				tr, err := BuildPacked(data, alg.Orderer, buf, cfg.Capacity)
+				if err != nil {
+					return nil, err
+				}
+				trees[di][ai] = tr
+			}
+		}
+		for _, qc := range []queryClass{qcPoint, qcRegion1, qcRegion9} {
+			qs := qc.queries(cfg.Queries, cfg.Seed+100+int64(qc))
+			var c cell
+			for di := range trees {
+				for ai := range trees[di] {
+					acc, err := AvgAccesses(trees[di][ai], qs)
+					if err != nil {
+						return nil, err
+					}
+					c.acc[di][ai] = acc
+				}
+			}
+			results[qc] = append(results[qc], c)
+		}
+	}
+	for _, qc := range []queryClass{qcPoint, qcRegion1, qcRegion9} {
+		for si, c := range results[qc] {
+			p, d5 := c.acc[0], c.acc[1]
+			t.Rows = append(t.Rows, []string{
+				qc.label(), fmt.Sprintf("%d", sizes[si]),
+				f2(p[0]), f2(p[1]), f2(p[2]), ratio(p[1], p[0]), ratio(p[2], p[0]),
+				f2(d5[0]), f2(d5[1]), f2(d5[2]), ratio(d5[1], d5[0]), ratio(d5[2], d5[0]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Table4 reproduces "Synthetic Data Areas and Perimeters" for the 50K and
+// 300K data sets: leaf and total area and perimeter per algorithm, for
+// point data and density-5 region data.
+func Table4(cfg Config) (*Table, error) {
+	small, big := cfg.size(50000), cfg.size(300000)
+	t := &Table{
+		ID:    "Table 4",
+		Title: "Synthetic Data Areas and Perimeters",
+		Note:  scaleNote(cfg),
+		Header: []string{
+			"Data", "Metric",
+			fmt.Sprintf("STR %dK", small/1000), fmt.Sprintf("HS %dK", small/1000), fmt.Sprintf("NX %dK", small/1000),
+			fmt.Sprintf("STR %dK", big/1000), fmt.Sprintf("HS %dK", big/1000), fmt.Sprintf("NX %dK", big/1000),
+		},
+	}
+	for di, dataset := range []struct {
+		name    string
+		density float64
+	}{
+		{"Point Data", 0},
+		{"Region Data, Density = 5.0", 5.0},
+	} {
+		// metrics[sizeIdx][algIdx]
+		var ms [2][3]metrics.TreeMetrics
+		for si, r := range []int{small, big} {
+			entries := datagen.UniformSquares(r, dataset.density, cfg.Seed+int64(di))
+			for ai, alg := range PaperAlgorithms() {
+				tr, err := BuildPacked(entries, alg.Orderer, 64, cfg.Capacity)
+				if err != nil {
+					return nil, err
+				}
+				m, err := metrics.Measure(tr)
+				if err != nil {
+					return nil, err
+				}
+				ms[si][ai] = m
+			}
+		}
+		rows := []struct {
+			label string
+			get   func(metrics.TreeMetrics) float64
+		}{
+			{"leaf area", func(m metrics.TreeMetrics) float64 { return m.LeafArea }},
+			{"total area", func(m metrics.TreeMetrics) float64 { return m.TotalArea }},
+			{"leaf perimeter", func(m metrics.TreeMetrics) float64 { return m.LeafMargin }},
+			{"total perimeter", func(m metrics.TreeMetrics) float64 { return m.TotalMargin }},
+		}
+		for _, row := range rows {
+			t.Rows = append(t.Rows, []string{
+				dataset.name, row.label,
+				f2(row.get(ms[0][0])), f2(row.get(ms[0][1])), f2(row.get(ms[0][2])),
+				f2(row.get(ms[1][0])), f2(row.get(ms[1][1])), f2(row.get(ms[1][2])),
+			})
+		}
+	}
+	return t, nil
+}
+
+// syntheticFigure reproduces Figures 7-9: disk accesses versus data size
+// for STR and HS on point data (density 0) and density-5 region data at
+// one buffer size. NX is omitted exactly as in the paper ("the NX
+// algorithm is not competitive").
+func syntheticFigure(cfg Config, id string, qc queryClass, paperBuf int) (*Table, error) {
+	buf := cfg.bufPages(paperBuf)
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("Disk Accesses vs. Data Size, %s, Buffer Size %d",
+			qc.label(), buf),
+		Note:   scaleNote(cfg),
+		Header: []string{"Data Size", "HS density=5", "STR density=5", "HS density=0", "STR density=0"},
+	}
+	qs := qc.queries(cfg.Queries, cfg.Seed+100+int64(qc))
+	algs := PaperAlgorithms()
+	for _, paperSize := range paperSizes {
+		r := cfg.size(paperSize)
+		points := datagen.UniformPoints(r, cfg.Seed)
+		dense := datagen.UniformSquares(r, 5.0, cfg.Seed+1)
+		row := []string{fmt.Sprintf("%d", r)}
+		for _, data := range [][]node.Entry{dense, points} {
+			var hs, str float64
+			for _, alg := range algs[:2] { // STR, HS
+				tr, err := BuildPacked(data, alg.Orderer, buf, cfg.Capacity)
+				if err != nil {
+					return nil, err
+				}
+				acc, err := AvgAccesses(tr, qs)
+				if err != nil {
+					return nil, err
+				}
+				if alg.Name == "STR" {
+					str = acc
+				} else {
+					hs = acc
+				}
+			}
+			row = append(row, f2(hs), f2(str))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func scaleNote(cfg Config) string {
+	if cfg.Scale == 1 {
+		return fmt.Sprintf("paper-scale run, %d queries", cfg.Queries)
+	}
+	return fmt.Sprintf("scaled run: %.0f%% of paper data sizes and buffers, %d queries", cfg.Scale*100, cfg.Queries)
+}

@@ -1,0 +1,270 @@
+// Package extsort provides external-memory sorting of R-tree entries, so
+// STR packing scales past main memory — the regime the paper targets
+// ("data sets likely to be used by near term future applications" exceed
+// the buffer, and packing is preprocessing over files).
+//
+// The implementation is the classical two-phase external merge sort:
+// fixed-size runs are sorted in memory and spilled to a temporary file;
+// a k-way merge (container/heap) streams the runs back in order. Entries
+// are serialized with the same fixed-width binary layout the node pages
+// use.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+// Less orders entries; it must be a strict weak ordering.
+type Less func(a, b *node.Entry) bool
+
+// ByCenter returns a comparator on the center coordinate of one axis, the
+// ordering every STR phase uses.
+func ByCenter(axis int) Less {
+	return func(a, b *node.Entry) bool {
+		return a.Rect.CenterAxis(axis) < b.Rect.CenterAxis(axis)
+	}
+}
+
+// Sorter sorts streams of entries, spilling to disk when a run exceeds
+// the in-memory budget.
+type Sorter struct {
+	dims    int
+	runSize int
+	tmpDir  string
+}
+
+// NewSorter creates a sorter for entries of the given dimensionality that
+// keeps at most runSize entries in memory at a time. Temporary run files
+// are created in tmpDir ("" means the OS default).
+func NewSorter(dims, runSize int, tmpDir string) (*Sorter, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("extsort: invalid dims %d", dims)
+	}
+	if runSize < 2 {
+		return nil, fmt.Errorf("extsort: run size %d too small", runSize)
+	}
+	return &Sorter{dims: dims, runSize: runSize, tmpDir: tmpDir}, nil
+}
+
+// entrySize is the on-disk size of one entry.
+func (s *Sorter) entrySize() int { return 16*s.dims + 8 }
+
+// Sort consumes entries from next (which returns false when exhausted)
+// and emits them in order to emit. Both callbacks may be called many
+// times; emit's entry is only valid during the call.
+func (s *Sorter) Sort(less Less, next func() (node.Entry, bool), emit func(node.Entry) error) error {
+	// Phase 1: build sorted runs.
+	var (
+		run   []node.Entry
+		files []*os.File
+	)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	flushRun := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		sort.SliceStable(run, func(i, j int) bool { return less(&run[i], &run[j]) })
+		f, err := os.CreateTemp(s.tmpDir, "extsort-run-*")
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriterSize(f, 1<<16)
+		buf := make([]byte, s.entrySize())
+		for i := range run {
+			s.encode(&run[i], buf)
+			if _, err := w.Write(buf); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+		files = append(files, f)
+		run = run[:0]
+		return nil
+	}
+
+	total := 0
+	for {
+		e, ok := next()
+		if !ok {
+			break
+		}
+		if e.Rect.Dim() != s.dims {
+			return fmt.Errorf("extsort: entry dim %d, sorter dim %d", e.Rect.Dim(), s.dims)
+		}
+		run = append(run, node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref})
+		total++
+		if len(run) >= s.runSize {
+			if err := flushRun(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Everything fit in one in-memory run: no files needed.
+	if len(files) == 0 {
+		sort.SliceStable(run, func(i, j int) bool { return less(&run[i], &run[j]) })
+		for i := range run {
+			if err := emit(run[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := flushRun(); err != nil {
+		return err
+	}
+
+	// Phase 2: k-way merge of the runs.
+	readers := make([]*runReader, len(files))
+	for i, f := range files {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		readers[i] = &runReader{
+			r:    bufio.NewReaderSize(f, 1<<16),
+			buf:  make([]byte, s.entrySize()),
+			dims: s.dims,
+		}
+	}
+	h := &mergeHeap{less: less}
+	for i, r := range readers {
+		e, ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items = append(h.items, mergeItem{entry: e, src: i})
+		}
+	}
+	heap.Init(h)
+	emitted := 0
+	for h.Len() > 0 {
+		top := h.items[0]
+		if err := emit(top.entry); err != nil {
+			return err
+		}
+		emitted++
+		e, ok, err := readers[top.src].next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items[0] = mergeItem{entry: e, src: top.src}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	if emitted != total {
+		return fmt.Errorf("extsort: emitted %d of %d entries", emitted, total)
+	}
+	return nil
+}
+
+// SortSlice sorts entries in place using external runs; a convenience for
+// callers holding a full slice that still want bounded sort memory.
+func (s *Sorter) SortSlice(entries []node.Entry, less Less) error {
+	i := 0
+	next := func() (node.Entry, bool) {
+		if i >= len(entries) {
+			return node.Entry{}, false
+		}
+		e := entries[i]
+		i++
+		return e, true
+	}
+	j := 0
+	emit := func(e node.Entry) error {
+		entries[j] = node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref}
+		j++
+		return nil
+	}
+	return s.Sort(less, next, emit)
+}
+
+func (s *Sorter) encode(e *node.Entry, buf []byte) {
+	off := 0
+	for d := 0; d < s.dims; d++ {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Min[d]))
+		off += 8
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Max[d]))
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], e.Ref)
+}
+
+// runReader streams entries back from one run file.
+type runReader struct {
+	r    *bufio.Reader
+	buf  []byte
+	dims int
+}
+
+func (r *runReader) next() (node.Entry, bool, error) {
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			return node.Entry{}, false, nil
+		}
+		return node.Entry{}, false, err
+	}
+	e := node.Entry{Rect: newRect(r.dims)}
+	off := 0
+	for d := 0; d < r.dims; d++ {
+		e.Rect.Min[d] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[off:]))
+		off += 8
+		e.Rect.Max[d] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[off:]))
+		off += 8
+	}
+	e.Ref = binary.LittleEndian.Uint64(r.buf[off:])
+	return e, true, nil
+}
+
+func newRect(dims int) geom.Rect {
+	return geom.Rect{Min: make(geom.Point, dims), Max: make(geom.Point, dims)}
+}
+
+// mergeItem is one head-of-run entry in the merge heap.
+type mergeItem struct {
+	entry node.Entry
+	src   int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	less  Less
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.less(&h.items[i].entry, &h.items[j].entry)
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,172 @@
+// Package geojson extracts minimum bounding rectangles from GeoJSON (RFC
+// 7946) geometries, features and feature collections, for loading into an
+// R-tree. As with the WKT loader, the index needs only each object's MBR
+// (paper Section 2.1); exact shapes stay with the caller.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"strtree/internal/geom"
+)
+
+// ErrEmpty is returned for geometries containing no positions.
+var ErrEmpty = fmt.Errorf("geojson: empty geometry has no bounding box")
+
+// Item is one feature's bounding box and identifier.
+type Item struct {
+	Rect geom.Rect
+	// ID is the feature's numeric "id" member when present, else the
+	// feature's index in the collection.
+	ID uint64
+}
+
+// object is the common shell of every GeoJSON object.
+type object struct {
+	Type        string            `json:"type"`
+	Coordinates json.RawMessage   `json:"coordinates"`
+	Geometries  []json.RawMessage `json:"geometries"`
+	Geometry    json.RawMessage   `json:"geometry"`
+	Features    []json.RawMessage `json:"features"`
+	ID          json.RawMessage   `json:"id"`
+}
+
+// MBR returns the bounding rectangle of a single Geometry or Feature
+// document.
+func MBR(data []byte) (geom.Rect, error) {
+	box := newBox()
+	if err := addObject(data, &box); err != nil {
+		return geom.Rect{}, err
+	}
+	return box.rect()
+}
+
+// Collection returns one Item per feature of a FeatureCollection (or a
+// single Item for a lone Feature/Geometry document). Features whose
+// geometry is null or empty are skipped.
+func Collection(data []byte) ([]Item, error) {
+	var obj object
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	if obj.Type != "FeatureCollection" {
+		r, err := MBR(data)
+		if err != nil {
+			return nil, err
+		}
+		return []Item{{Rect: r, ID: 0}}, nil
+	}
+	items := make([]Item, 0, len(obj.Features))
+	for i, raw := range obj.Features {
+		var feat object
+		if err := json.Unmarshal(raw, &feat); err != nil {
+			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		if feat.Type != "Feature" {
+			return nil, fmt.Errorf("geojson: feature %d has type %q", i, feat.Type)
+		}
+		box := newBox()
+		if len(feat.Geometry) == 0 || string(feat.Geometry) == "null" {
+			continue
+		}
+		if err := addObject(feat.Geometry, &box); err != nil {
+			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		r, err := box.rect()
+		if err != nil {
+			continue // empty geometry
+		}
+		id := uint64(i)
+		if len(feat.ID) > 0 {
+			var numeric uint64
+			if err := json.Unmarshal(feat.ID, &numeric); err == nil {
+				id = numeric
+			}
+		}
+		items = append(items, Item{Rect: r, ID: id})
+	}
+	return items, nil
+}
+
+// addObject accumulates one geometry object's positions into box.
+func addObject(data []byte, b *box) error {
+	var obj object
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return fmt.Errorf("geojson: %w", err)
+	}
+	switch obj.Type {
+	case "Point", "MultiPoint", "LineString", "MultiLineString", "Polygon", "MultiPolygon":
+		if len(obj.Coordinates) == 0 {
+			return fmt.Errorf("geojson: %s without coordinates", obj.Type)
+		}
+		return addCoords(obj.Coordinates, b)
+	case "GeometryCollection":
+		for i, raw := range obj.Geometries {
+			if err := addObject(raw, b); err != nil {
+				return fmt.Errorf("geometry %d: %w", i, err)
+			}
+		}
+		return nil
+	case "Feature":
+		if len(obj.Geometry) == 0 || string(obj.Geometry) == "null" {
+			return nil
+		}
+		return addObject(obj.Geometry, b)
+	case "":
+		return fmt.Errorf("geojson: missing type")
+	default:
+		return fmt.Errorf("geojson: unsupported type %q", obj.Type)
+	}
+}
+
+// addCoords walks arbitrarily nested coordinate arrays. A position is an
+// array whose first element is a number; anything else is a list of
+// positions (or lists of lists, for polygons and their multis).
+func addCoords(raw json.RawMessage, b *box) error {
+	// Try a position first.
+	var pos []float64
+	if err := json.Unmarshal(raw, &pos); err == nil {
+		if len(pos) < 2 {
+			return fmt.Errorf("geojson: position with %d ordinates", len(pos))
+		}
+		b.add(pos[0], pos[1])
+		return nil
+	}
+	var list []json.RawMessage
+	if err := json.Unmarshal(raw, &list); err != nil {
+		return fmt.Errorf("geojson: bad coordinates: %w", err)
+	}
+	for _, el := range list {
+		if err := addCoords(el, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type box struct {
+	minX, minY, maxX, maxY float64
+	touched                bool
+}
+
+func newBox() box {
+	inf := math.Inf(1)
+	return box{minX: inf, minY: inf, maxX: -inf, maxY: -inf}
+}
+
+func (b *box) add(x, y float64) {
+	b.minX = math.Min(b.minX, x)
+	b.minY = math.Min(b.minY, y)
+	b.maxX = math.Max(b.maxX, x)
+	b.maxY = math.Max(b.maxY, y)
+	b.touched = true
+}
+
+func (b *box) rect() (geom.Rect, error) {
+	if !b.touched {
+		return geom.Rect{}, ErrEmpty
+	}
+	return geom.Rect{Min: geom.Pt2(b.minX, b.minY), Max: geom.Pt2(b.maxX, b.maxY)}, nil
+}

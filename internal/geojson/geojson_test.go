@@ -1,0 +1,112 @@
+package geojson
+
+import (
+	"errors"
+	"testing"
+
+	"strtree/internal/geom"
+)
+
+func mustMBR(t *testing.T, s string) geom.Rect {
+	t.Helper()
+	r, err := MBR([]byte(s))
+	if err != nil {
+		t.Fatalf("MBR(%s): %v", s, err)
+	}
+	return r
+}
+
+func TestPoint(t *testing.T) {
+	got := mustMBR(t, `{"type":"Point","coordinates":[3,4]}`)
+	if !got.Equal(geom.R2(3, 4, 3, 4)) {
+		t.Fatalf("got %v", got)
+	}
+	// Extra ordinates (elevation) ignored.
+	got = mustMBR(t, `{"type":"Point","coordinates":[1,2,99]}`)
+	if !got.Equal(geom.R2(1, 2, 1, 2)) {
+		t.Fatalf("3-ordinate point: %v", got)
+	}
+}
+
+func TestLineStringAndPolygon(t *testing.T) {
+	got := mustMBR(t, `{"type":"LineString","coordinates":[[0,0],[10,5],[3,-2]]}`)
+	if !got.Equal(geom.R2(0, -2, 10, 5)) {
+		t.Fatalf("linestring: %v", got)
+	}
+	got = mustMBR(t, `{"type":"Polygon","coordinates":[[[0,0],[8,0],[8,6],[0,0]],[[2,2],[3,3],[2,3],[2,2]]]}`)
+	if !got.Equal(geom.R2(0, 0, 8, 6)) {
+		t.Fatalf("polygon: %v", got)
+	}
+}
+
+func TestMultiGeometries(t *testing.T) {
+	got := mustMBR(t, `{"type":"MultiPolygon","coordinates":[[[[0,0],[2,0],[2,2],[0,0]]],[[[10,10],[12,13],[10,13],[10,10]]]]}`)
+	if !got.Equal(geom.R2(0, 0, 12, 13)) {
+		t.Fatalf("multipolygon: %v", got)
+	}
+	got = mustMBR(t, `{"type":"GeometryCollection","geometries":[{"type":"Point","coordinates":[1,2]},{"type":"LineString","coordinates":[[0,0],[5,5]]}]}`)
+	if !got.Equal(geom.R2(0, 0, 5, 5)) {
+		t.Fatalf("collection: %v", got)
+	}
+}
+
+func TestFeature(t *testing.T) {
+	got := mustMBR(t, `{"type":"Feature","geometry":{"type":"Point","coordinates":[7,8]},"properties":{"name":"x"}}`)
+	if !got.Equal(geom.R2(7, 8, 7, 8)) {
+		t.Fatalf("feature: %v", got)
+	}
+}
+
+func TestCollection(t *testing.T) {
+	doc := `{"type":"FeatureCollection","features":[
+		{"type":"Feature","id":42,"geometry":{"type":"Point","coordinates":[1,1]},"properties":{}},
+		{"type":"Feature","geometry":null,"properties":{}},
+		{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[2,3]]},"properties":{}}
+	]}`
+	items, err := Collection([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("parsed %d items (null geometry should be skipped)", len(items))
+	}
+	if items[0].ID != 42 || !items[0].Rect.Equal(geom.R2(1, 1, 1, 1)) {
+		t.Fatalf("item 0 = %+v", items[0])
+	}
+	if items[1].ID != 2 || !items[1].Rect.Equal(geom.R2(0, 0, 2, 3)) {
+		t.Fatalf("item 1 = %+v", items[1])
+	}
+}
+
+func TestCollectionOfSingleGeometry(t *testing.T) {
+	items, err := Collection([]byte(`{"type":"Point","coordinates":[5,6]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || !items[0].Rect.Equal(geom.R2(5, 6, 5, 6)) {
+		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{}`,
+		`{"type":"Circle","coordinates":[1,2]}`,
+		`{"type":"Point"}`,
+		`{"type":"Point","coordinates":[1]}`,
+		`{"type":"Point","coordinates":"oops"}`,
+		`{"type":"FeatureCollection","features":[{"type":"Point","coordinates":[1,2]}]}`,
+	}
+	for _, s := range bad {
+		if _, err := Collection([]byte(s)); err == nil {
+			t.Errorf("Collection(%s) succeeded", s)
+		}
+	}
+	if _, err := MBR([]byte(`{"type":"GeometryCollection","geometries":[]}`)); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty collection: %v", err)
+	}
+	if _, err := MBR([]byte(`{"type":"Feature","geometry":null}`)); !errors.Is(err, ErrEmpty) {
+		t.Errorf("null feature geometry: %v", err)
+	}
+}

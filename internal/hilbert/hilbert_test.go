@@ -1,0 +1,359 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// xy2dReference is the classic rotation-based 2-D Hilbert index from
+// Warren/Wikipedia, used as an independent cross-check of the Skilling
+// implementation.
+func xy2dReference(order int, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << uint(order-1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+func TestIndexOrder1(t *testing.T) {
+	// The order-1 curve visits (0,0) (0,1) (1,1) (1,0): the U shape.
+	want := map[[2]uint32]uint64{
+		{0, 0}: 0,
+		{0, 1}: 1,
+		{1, 1}: 2,
+		{1, 0}: 3,
+	}
+	for xy, d := range want {
+		if got := Index2D(1, xy[0], xy[1]); got != d {
+			t.Errorf("Index2D(1, %d, %d) = %d, want %d", xy[0], xy[1], got, d)
+		}
+	}
+}
+
+func TestIndexMatchesReference2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, order := range []int{2, 4, 8, 16, 31} {
+		mask := uint32(1)<<uint(order) - 1
+		for i := 0; i < 200; i++ {
+			x, y := rng.Uint32()&mask, rng.Uint32()&mask
+			got := Index2D(order, x, y)
+			want := xy2dReference(order, x, y)
+			if got != want {
+				t.Fatalf("order %d: Index2D(%d,%d) = %d, reference = %d", order, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexCoordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct{ order, dims int }{{4, 2}, {16, 2}, {31, 2}, {8, 3}, {10, 4}, {12, 5}}
+	for _, c := range cases {
+		mask := uint32(1)<<uint(c.order) - 1
+		for i := 0; i < 100; i++ {
+			in := make([]uint32, c.dims)
+			for j := range in {
+				in[j] = rng.Uint32() & mask
+			}
+			idx := Index(c.order, in)
+			out := Coords(c.order, idx, c.dims)
+			for j := range in {
+				if in[j] != out[j] {
+					t.Fatalf("order %d dims %d: round trip %v -> %d -> %v", c.order, c.dims, in, idx, out)
+				}
+			}
+		}
+	}
+}
+
+func TestCurveIsBijectiveSmall(t *testing.T) {
+	// Exhaustively verify the order-3 2-D curve visits all 64 cells once.
+	const order = 3
+	seen := make(map[uint64][2]uint32)
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			d := Index2D(order, x, y)
+			if d >= 64 {
+				t.Fatalf("index %d out of range", d)
+			}
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("cells (%d,%d) and %v share index %d", x, y, prev, d)
+			}
+			seen[d] = [2]uint32{x, y}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("curve visited %d cells, want 64", len(seen))
+	}
+	// Consecutive indices must be adjacent cells (the defining Hilbert
+	// property: unit steps).
+	for d := uint64(0); d < 63; d++ {
+		a, b := seen[d], seen[d+1]
+		dx := int64(a[0]) - int64(b[0])
+		dy := int64(a[1]) - int64(b[1])
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("indices %d and %d map to non-adjacent cells %v, %v", d, d+1, a, b)
+		}
+	}
+}
+
+func TestCurveContinuity3D(t *testing.T) {
+	const order = 2 // 4x4x4 grid, 64 cells
+	cells := make([][]uint32, 64)
+	for d := uint64(0); d < 64; d++ {
+		cells[d] = Coords(order, d, 3)
+	}
+	for d := 0; d < 63; d++ {
+		var dist int64
+		for i := 0; i < 3; i++ {
+			delta := int64(cells[d][i]) - int64(cells[d+1][i])
+			dist += delta * delta
+		}
+		if dist != 1 {
+			t.Fatalf("3-D curve jumps between %v and %v", cells[d], cells[d+1])
+		}
+	}
+}
+
+func TestIndexPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("order too large", func() { Index(33, []uint32{0, 0}) })
+	mustPanic("coordinate out of range", func() { Index(2, []uint32{4, 0}) })
+	mustPanic("zero dims", func() { Index(4, nil) })
+}
+
+func TestMapperBasics(t *testing.T) {
+	m, err := NewMapper(8, []float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() != 8 || m.Dims() != 2 {
+		t.Fatalf("Order/Dims = %d/%d", m.Order(), m.Dims())
+	}
+	if got := m.Cell([]float64{0, 0}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("Cell(origin) = %v", got)
+	}
+	if got := m.Cell([]float64{1, 1}); got[0] != 255 || got[1] != 255 {
+		t.Errorf("Cell(1,1) = %v, want [255 255]", got)
+	}
+	// Clamping outside the box.
+	if got := m.Cell([]float64{-5, 9}); got[0] != 0 || got[1] != 255 {
+		t.Errorf("Cell(out of box) = %v", got)
+	}
+}
+
+func TestMapperErrors(t *testing.T) {
+	if _, err := NewMapper(8, []float64{0}, []float64{1, 1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := NewMapper(8, []float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := NewMapper(40, []float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Error("oversized order accepted")
+	}
+	if _, err := NewMapper(0, []float64{0}, []float64{1}); err == nil {
+		t.Error("zero order accepted")
+	}
+}
+
+func TestMapperDegenerateAxis(t *testing.T) {
+	m, err := NewMapper(8, []float64{0, 5}, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cell([]float64{0.5, 5}); got[1] != 0 {
+		t.Errorf("degenerate axis cell = %v, want 0", got[1])
+	}
+}
+
+func TestMapperKeyPreservesCurveOrder(t *testing.T) {
+	m, err := NewMapper(4, []float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the order-4 curve; mapping cell centers back through the mapper
+	// must produce strictly increasing keys.
+	var prev uint64
+	for d := uint64(0); d < 256; d++ {
+		c := Coords(4, d, 2)
+		p := []float64{(float64(c[0]) + 0.01) / 15.0, (float64(c[1]) + 0.01) / 15.0}
+		key := m.Key(p)
+		if d > 0 && key <= prev {
+			t.Fatalf("key order violated at curve position %d: %d <= %d", d, key, prev)
+		}
+		prev = key
+	}
+}
+
+func TestPropLocality(t *testing.T) {
+	// Hilbert locality: points in the same half of the square share the
+	// leading index bit pair constraint loosely. Instead of a vague claim we
+	// check the concrete contractive property on random pairs: nearby cells
+	// (Chebyshev distance 1) have closer-than-random average index distance.
+	m, err := NewMapper(10, []float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var nearSum, farSum float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		x, y := rng.Float64()*0.99, rng.Float64()*0.99
+		k0 := m.Key([]float64{x, y})
+		kNear := m.Key([]float64{x + 1.0/1024, y})
+		kFar := m.Key([]float64{rng.Float64(), rng.Float64()})
+		nearSum += absDiff(k0, kNear)
+		farSum += absDiff(k0, kFar)
+	}
+	if nearSum >= farSum/4 {
+		t.Fatalf("locality too weak: near avg %g vs far avg %g", nearSum/trials, farSum/trials)
+	}
+}
+
+func absDiff(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func TestPropRoundTripQuick(t *testing.T) {
+	f := func(x, y uint32) bool {
+		const order = 31
+		mask := uint32(1)<<order - 1
+		x &= mask
+		y &= mask
+		c := Coords(order, Index2D(order, x, y), 2)
+		return c[0] == x && c[1] == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare2DMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, order := range []int{1, 2, 5, 16, 31} {
+		mask := uint64(1)<<uint(order) - 1
+		for i := 0; i < 500; i++ {
+			ax, ay := rng.Uint64()&mask, rng.Uint64()&mask
+			bx, by := rng.Uint64()&mask, rng.Uint64()&mask
+			da := Index2D(order, uint32(ax), uint32(ay))
+			db := Index2D(order, uint32(bx), uint32(by))
+			want := 0
+			if da < db {
+				want = -1
+			} else if da > db {
+				want = 1
+			}
+			if got := Compare2D(order, ax, ay, bx, by); got != want {
+				t.Fatalf("order %d: Compare2D((%d,%d),(%d,%d)) = %d, indices %d vs %d",
+					order, ax, ay, bx, by, got, da, db)
+			}
+		}
+	}
+}
+
+func TestCompare2DHighPrecision(t *testing.T) {
+	// Order 52: no 104-bit index exists, but comparison still works. Two
+	// points that differ only in the lowest bit must order deterministically
+	// and be a total order with a third point.
+	const order = 52
+	base := uint64(1)<<52 - 12345
+	a := [2]uint64{base, base}
+	b := [2]uint64{base + 1, base}
+	c := [2]uint64{base, base + 1}
+	if Compare2D(order, a[0], a[1], a[0], a[1]) != 0 {
+		t.Fatal("point not equal to itself")
+	}
+	ab := Compare2D(order, a[0], a[1], b[0], b[1])
+	ba := Compare2D(order, b[0], b[1], a[0], a[1])
+	if ab == 0 || ab != -ba {
+		t.Fatalf("comparison not antisymmetric: %d vs %d", ab, ba)
+	}
+	// Transitivity spot check over the triple.
+	pts := [][2]uint64{a, b, c}
+	for i := range pts {
+		for j := range pts {
+			for k := range pts {
+				ij := Compare2D(order, pts[i][0], pts[i][1], pts[j][0], pts[j][1])
+				jk := Compare2D(order, pts[j][0], pts[j][1], pts[k][0], pts[k][1])
+				ik := Compare2D(order, pts[i][0], pts[i][1], pts[k][0], pts[k][1])
+				if ij < 0 && jk < 0 && ik >= 0 {
+					t.Fatalf("transitivity violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCompare2DAdjacency(t *testing.T) {
+	// Walking the order-4 curve, each cell must compare less than its
+	// successor.
+	const order = 4
+	for d := uint64(0); d < 255; d++ {
+		a := Coords(order, d, 2)
+		b := Coords(order, d+1, 2)
+		if got := Compare2D(order, uint64(a[0]), uint64(a[1]), uint64(b[0]), uint64(b[1])); got != -1 {
+			t.Fatalf("cell %d vs %d: Compare2D = %d", d, d+1, got)
+		}
+	}
+}
+
+func TestCompare2DPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("order 64 did not panic")
+		}
+	}()
+	Compare2D(64, 0, 0, 1, 1)
+}
+
+func BenchmarkCompare2DOrder52(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Compare2D(52, uint64(i)*2654435761, uint64(i)*40503, uint64(i)*9176, uint64(i)*7)
+	}
+}
+
+func BenchmarkIndex2DOrder31(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Index2D(31, uint32(i)&0x7fffffff, uint32(i*7)&0x7fffffff)
+	}
+}
+
+func BenchmarkMapperKey(b *testing.B) {
+	m, err := NewMapper(31, []float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := []float64{0.37, 0.62}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Key(p)
+	}
+}

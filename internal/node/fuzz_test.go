@@ -1,0 +1,77 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the page parser: it must never
+// panic and must never return a node that violates basic sanity (the CRC
+// makes random corruption overwhelmingly detectable; what we assert is
+// graceful rejection, not acceptance).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with a valid page and light mutations of it.
+	valid := make([]byte, 1024)
+	n := sampleNode(2, 2, 20, rand.New(rand.NewSource(1)))
+	if err := Marshal(n, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	for _, at := range []int{0, 3, 6, 9, 50, 500} {
+		mut := append([]byte(nil), valid...)
+		mut[at] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x52})
+
+	f.Fuzz(func(t *testing.T, page []byte) {
+		var out Node
+		if err := Unmarshal(page, &out); err != nil {
+			return // rejection is the expected outcome for junk
+		}
+		// Accepted pages must be internally consistent.
+		if out.Dims <= 0 {
+			t.Fatalf("accepted node with dims %d", out.Dims)
+		}
+		for i, e := range out.Entries {
+			if !e.Rect.Valid() {
+				t.Fatalf("accepted entry %d with invalid rect %v", i, e.Rect)
+			}
+			if e.Rect.Dim() != out.Dims {
+				t.Fatalf("accepted entry %d with dim %d in %d-d node", i, e.Rect.Dim(), out.Dims)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any node the fuzzer can describe survives a
+// marshal/unmarshal cycle bit-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(10))
+	f.Add(int64(2), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, level, count uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		c := int(count)
+		if max := Capacity(2048, 2); c > max {
+			c = max
+		}
+		n := sampleNode(int(level), 2, c, rng)
+		page := make([]byte, 2048)
+		if err := Marshal(n, page); err != nil {
+			t.Fatal(err)
+		}
+		var got Node
+		if err := Unmarshal(page, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Level != n.Level || got.Dims != n.Dims || len(got.Entries) != len(n.Entries) {
+			t.Fatal("header mismatch after round trip")
+		}
+		for i := range n.Entries {
+			if !got.Entries[i].Rect.Equal(n.Entries[i].Rect) || got.Entries[i].Ref != n.Entries[i].Ref {
+				t.Fatalf("entry %d mismatch", i)
+			}
+		}
+	})
+}

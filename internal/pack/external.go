@@ -1,0 +1,206 @@
+package pack
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"strtree/internal/extsort"
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+// STRExternal performs the 2-D STR ordering without ever holding more
+// than RunSize entries in memory: input spills to a temporary file, the
+// x phase is an external merge sort, and each vertical slice is
+// external-sorted by y as it streams out. Combined with
+// rtree.BulkLoadOrdered this lets a tree be packed from data sets far
+// larger than RAM — the preprocessing-over-files setting the paper's
+// packing algorithms are meant for.
+type STRExternal struct {
+	// RunSize is the maximum number of entries held in memory during any
+	// sort phase. Zero means 1 << 20.
+	RunSize int
+	// TmpDir hosts the spill files ("" = OS default).
+	TmpDir string
+}
+
+func (s STRExternal) runSize() int {
+	if s.RunSize <= 0 {
+		return 1 << 20
+	}
+	return s.RunSize
+}
+
+// Pack consumes 2-D entries from src (until it reports false), orders
+// them by STR for node capacity n, and streams them to emit in packing
+// order. The number of entries is discovered during the spill phase.
+func (s STRExternal) Pack(n int, src func() (node.Entry, bool), emit func(node.Entry) error) error {
+	if n < 1 {
+		return fmt.Errorf("pack: node capacity %d < 1", n)
+	}
+	// Phase 0: spill the input while counting.
+	spill, err := newSpill(s.TmpDir)
+	if err != nil {
+		return err
+	}
+	defer spill.cleanup()
+	count := 0
+	for {
+		e, ok := src()
+		if !ok {
+			break
+		}
+		if e.Rect.Dim() != 2 {
+			return fmt.Errorf("pack: STRExternal is 2-D, got %d-D entry", e.Rect.Dim())
+		}
+		if err := spill.write(&e); err != nil {
+			return err
+		}
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+
+	// Phase 1: external sort by center x into a second spill file.
+	sorter, err := extsort.NewSorter(2, s.runSize(), s.TmpDir)
+	if err != nil {
+		return err
+	}
+	xsorted, err := newSpill(s.TmpDir)
+	if err != nil {
+		return err
+	}
+	defer xsorted.cleanup()
+	read := spill.reader()
+	var readErr error
+	if err := sorter.Sort(extsort.ByCenter(0),
+		func() (node.Entry, bool) {
+			e, ok, err2 := read()
+			if err2 != nil {
+				readErr = err2
+				return node.Entry{}, false
+			}
+			if !ok {
+				return node.Entry{}, false
+			}
+			return e, true
+		},
+		xsorted.write2); err != nil {
+		return err
+	}
+	if readErr != nil {
+		return readErr
+	}
+
+	// Phase 2: slice into slabs of n*ceil(sqrt(P)) and external-sort each
+	// slab by center y, streaming straight to the caller.
+	p := (count + n - 1) / n
+	slab := n * int(math.Ceil(math.Sqrt(float64(p))-1e-9))
+	if slab < n {
+		slab = n
+	}
+	readX := xsorted.reader()
+	remaining := count
+	for remaining > 0 {
+		take := slab
+		if take > remaining {
+			take = remaining
+		}
+		left := take
+		var slabErr error
+		if err := sorter.Sort(extsort.ByCenter(1),
+			func() (node.Entry, bool) {
+				if left == 0 {
+					return node.Entry{}, false
+				}
+				e, ok, err2 := readX()
+				if err2 != nil {
+					slabErr = err2
+					return node.Entry{}, false
+				}
+				if !ok {
+					return node.Entry{}, false
+				}
+				left--
+				return e, true
+			},
+			emit); err != nil {
+			return err
+		}
+		if slabErr != nil {
+			return slabErr
+		}
+		if left != 0 {
+			return fmt.Errorf("pack: slab short by %d entries", left)
+		}
+		remaining -= take
+	}
+	return nil
+}
+
+// spill is an append-then-scan temporary file of fixed-width 2-D entries.
+type spill struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+const spillEntrySize = 16*2 + 8
+
+func newSpill(dir string) (*spill, error) {
+	f, err := os.CreateTemp(dir, "strpack-*")
+	if err != nil {
+		return nil, err
+	}
+	return &spill{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (s *spill) write(e *node.Entry) error {
+	var buf [spillEntrySize]byte
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(e.Rect.Min[0]))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(e.Rect.Max[0]))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(e.Rect.Min[1]))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(e.Rect.Max[1]))
+	binary.LittleEndian.PutUint64(buf[32:], e.Ref)
+	_, err := s.w.Write(buf[:])
+	return err
+}
+
+// write2 adapts write to the emit signature.
+func (s *spill) write2(e node.Entry) error { return s.write(&e) }
+
+// reader flushes and returns a sequential scanner over the file.
+func (s *spill) reader() func() (node.Entry, bool, error) {
+	if err := s.w.Flush(); err != nil {
+		return func() (node.Entry, bool, error) { return node.Entry{}, false, err }
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return func() (node.Entry, bool, error) { return node.Entry{}, false, err }
+	}
+	r := bufio.NewReaderSize(s.f, 1<<16)
+	return func() (node.Entry, bool, error) {
+		var buf [spillEntrySize]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if err == io.EOF {
+				return node.Entry{}, false, nil
+			}
+			return node.Entry{}, false, err
+		}
+		e := node.Entry{Rect: geom.Rect{Min: make(geom.Point, 2), Max: make(geom.Point, 2)}}
+		e.Rect.Min[0] = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
+		e.Rect.Max[0] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+		e.Rect.Min[1] = math.Float64frombits(binary.LittleEndian.Uint64(buf[16:]))
+		e.Rect.Max[1] = math.Float64frombits(binary.LittleEndian.Uint64(buf[24:]))
+		e.Ref = binary.LittleEndian.Uint64(buf[32:])
+		return e, true, nil
+	}
+}
+
+func (s *spill) cleanup() {
+	s.f.Close()
+	os.Remove(s.f.Name())
+}

@@ -1,0 +1,86 @@
+package pack
+
+import (
+	"testing"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+func cube3() geom.Rect { return geom.UnitCube(3) }
+
+func collectPack(t *testing.T, s STRExternal, n int, entries []node.Entry) []node.Entry {
+	t.Helper()
+	i := 0
+	src := func() (node.Entry, bool) {
+		if i >= len(entries) {
+			return node.Entry{}, false
+		}
+		e := entries[i]
+		i++
+		return e, true
+	}
+	var out []node.Entry
+	if err := s.Pack(n, src, func(e node.Entry) error {
+		out = append(out, node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestExternalSTRMatchesInMemory(t *testing.T) {
+	// Random continuous coordinates: no ties, so the stable external sort
+	// and the unstable in-memory sort agree exactly.
+	base := uniformSquares(5000, 91)
+	const n = 100
+	inMem := append([]node.Entry(nil), base...)
+	STR{}.Order(inMem, n, 0)
+
+	ext := collectPack(t, STRExternal{RunSize: 256, TmpDir: t.TempDir()}, n, base)
+	if len(ext) != len(inMem) {
+		t.Fatalf("external emitted %d of %d", len(ext), len(inMem))
+	}
+	for i := range inMem {
+		if ext[i].Ref != inMem[i].Ref {
+			t.Fatalf("orders diverge at position %d: %d vs %d", i, ext[i].Ref, inMem[i].Ref)
+		}
+	}
+}
+
+func TestExternalSTRTinyAndEmpty(t *testing.T) {
+	s := STRExternal{RunSize: 16, TmpDir: t.TempDir()}
+	if got := collectPack(t, s, 10, nil); len(got) != 0 {
+		t.Fatalf("empty input emitted %d", len(got))
+	}
+	one := uniformSquares(1, 92)
+	if got := collectPack(t, s, 10, one); len(got) != 1 || got[0].Ref != one[0].Ref {
+		t.Fatalf("single entry mishandled: %v", got)
+	}
+}
+
+func TestExternalSTRRejects3D(t *testing.T) {
+	s := STRExternal{RunSize: 16, TmpDir: t.TempDir()}
+	three := []node.Entry{{Rect: cube3()}}
+	i := 0
+	err := s.Pack(10, func() (node.Entry, bool) {
+		if i > 0 {
+			return node.Entry{}, false
+		}
+		i++
+		return three[0], true
+	}, func(node.Entry) error { return nil })
+	if err == nil {
+		t.Fatal("3-D entry accepted")
+	}
+}
+
+func TestExternalSTRDefaultRunSize(t *testing.T) {
+	if (STRExternal{}).runSize() != 1<<20 {
+		t.Fatal("default run size wrong")
+	}
+	if (STRExternal{RunSize: 7}).runSize() != 7 {
+		t.Fatal("explicit run size ignored")
+	}
+}

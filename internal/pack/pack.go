@@ -1,0 +1,364 @@
+// Package pack implements the three R-tree packing algorithms the STR
+// paper compares — Sort-Tile-Recursive (the paper's contribution),
+// Nearest-X [Roussopoulos & Leifker 85] and Hilbert Sort [Kamel &
+// Faloutsos 93] — plus two ablation orderings used by the repository's
+// extra benchmarks.
+//
+// Each algorithm is an rtree.Orderer: it permutes the entries of one tree
+// level into the sequence in which the builder cuts them into nodes of
+// capacity n. Per the paper (Section 2.2) "the three algorithms differ
+// only in how the rectangles are ordered at each level"; the surrounding
+// bottom-up build is shared and lives in internal/rtree.
+package pack
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"strtree/internal/hilbert"
+	"strtree/internal/node"
+)
+
+// NX is the Nearest-X packing order: rectangles sorted by the x-coordinate
+// of their centers ("No details are given in the paper so we assume that
+// the x-coordinate of the rectangle's center is used"). Cheap to build, but
+// it packs long skinny nodes with huge perimeters, which is why the paper
+// finds it uncompetitive for region queries.
+type NX struct{}
+
+// Name implements rtree.Orderer.
+func (NX) Name() string { return "NX" }
+
+// Order implements rtree.Orderer.
+func (NX) Order(entries []node.Entry, n, level int) {
+	sortByCenter(entries, 0)
+}
+
+// YSort orders by the y-coordinate of the centers. It is NX rotated 90
+// degrees, included as an ablation control: any difference between NX and
+// YSort on a data set measures the set's axis anisotropy, not algorithm
+// quality.
+type YSort struct{}
+
+// Name implements rtree.Orderer.
+func (YSort) Name() string { return "Y" }
+
+// Order implements rtree.Orderer.
+func (YSort) Order(entries []node.Entry, n, level int) {
+	if len(entries) < 2 {
+		return
+	}
+	sortByCenter(entries, len(entries[0].Rect.Min)-1)
+}
+
+func sortByCenter(entries []node.Entry, axis int) {
+	if len(entries) < 2 {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Rect.CenterAxis(axis) < entries[j].Rect.CenterAxis(axis)
+	})
+}
+
+// HS is the Hilbert-Sort packing order: rectangle centers sorted by their
+// distance from the origin along the Hilbert curve. The curve grid is
+// fitted to the bounding box of the centers at each level, realizing the
+// paper's arbitrarily-fine conceptual grid for float coordinates.
+type HS struct {
+	// MaxOrder caps the curve order (bits per axis). Zero means the finest
+	// order whose index fits in 64 bits (31 for 2-D data).
+	MaxOrder int
+	// Exact switches 2-D data to the paper's lazy bitwise comparison at 52
+	// bits per axis — "one does not store or compute all bit values on the
+	// hypothetical grid" — so points closer than the 31-bit grid still
+	// order correctly. Ignored for other dimensionalities.
+	Exact bool
+}
+
+// Name implements rtree.Orderer.
+func (HS) Name() string { return "HS" }
+
+// Order implements rtree.Orderer.
+func (h HS) Order(entries []node.Entry, n, level int) {
+	if len(entries) < 2 {
+		return
+	}
+	dims := entries[0].Rect.Dim()
+	if h.Exact && dims == 2 {
+		h.orderExact2D(entries)
+		return
+	}
+	order := 64 / dims
+	if order > 31 {
+		order = 31
+	}
+	if h.MaxOrder > 0 && h.MaxOrder < order {
+		order = h.MaxOrder
+	}
+	// Fit the grid to the centers.
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	center := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+	}
+	for i := range entries {
+		for d := 0; d < dims; d++ {
+			c := entries[i].Rect.CenterAxis(d)
+			lo[d] = math.Min(lo[d], c)
+			hi[d] = math.Max(hi[d], c)
+		}
+	}
+	m, err := hilbert.NewMapper(order, lo, hi)
+	if err != nil {
+		// Bounds come from the data itself, so this is unreachable for
+		// valid entries; fall back to NX rather than corrupt the build.
+		sortByCenter(entries, 0)
+		return
+	}
+	keys := make([]uint64, len(entries))
+	cell := make([]uint32, dims)
+	for i := range entries {
+		for d := 0; d < dims; d++ {
+			center[d] = entries[i].Rect.CenterAxis(d)
+		}
+		m.CellInto(center, cell)
+		keys[i] = hilbert.Index(order, cell)
+	}
+	sort.Sort(&keyed{keys: keys, entries: entries})
+}
+
+// orderExact2D sorts by curve position using lazy 52-bit comparison, the
+// paper's in-practice method for arbitrary float coordinates.
+func (h HS) orderExact2D(entries []node.Entry) {
+	const order = 52 // float64 mantissa precision
+	lo := [2]float64{math.Inf(1), math.Inf(1)}
+	hi := [2]float64{math.Inf(-1), math.Inf(-1)}
+	for i := range entries {
+		for d := 0; d < 2; d++ {
+			c := entries[i].Rect.CenterAxis(d)
+			lo[d] = math.Min(lo[d], c)
+			hi[d] = math.Max(hi[d], c)
+		}
+	}
+	cells := float64(uint64(1)<<order - 1)
+	scale := [2]float64{}
+	for d := 0; d < 2; d++ {
+		if ext := hi[d] - lo[d]; ext > 0 {
+			scale[d] = cells / ext
+		}
+	}
+	cell := func(e *node.Entry, d int) uint64 {
+		v := (e.Rect.CenterAxis(d) - lo[d]) * scale[d]
+		switch {
+		case v <= 0:
+			return 0
+		case v >= cells:
+			return uint64(cells)
+		default:
+			return uint64(v)
+		}
+	}
+	// Precompute the grid cells once, then sort with the lazy comparator.
+	xs := make([]uint64, len(entries))
+	ys := make([]uint64, len(entries))
+	for i := range entries {
+		xs[i] = cell(&entries[i], 0)
+		ys[i] = cell(&entries[i], 1)
+	}
+	sort.Sort(&cellKeyed{xs: xs, ys: ys, entries: entries})
+}
+
+// cellKeyed sorts entries by Hilbert curve position of parallel cell
+// coordinates, compared lazily.
+type cellKeyed struct {
+	xs, ys  []uint64
+	entries []node.Entry
+}
+
+func (c *cellKeyed) Len() int { return len(c.xs) }
+func (c *cellKeyed) Less(i, j int) bool {
+	return hilbert.Compare2D(52, c.xs[i], c.ys[i], c.xs[j], c.ys[j]) < 0
+}
+func (c *cellKeyed) Swap(i, j int) {
+	c.xs[i], c.xs[j] = c.xs[j], c.xs[i]
+	c.ys[i], c.ys[j] = c.ys[j], c.ys[i]
+	c.entries[i], c.entries[j] = c.entries[j], c.entries[i]
+}
+
+// keyed sorts entries by parallel precomputed keys.
+type keyed struct {
+	keys    []uint64
+	entries []node.Entry
+}
+
+func (k *keyed) Len() int           { return len(k.keys) }
+func (k *keyed) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k *keyed) Swap(i, j int) {
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+	k.entries[i], k.entries[j] = k.entries[j], k.entries[i]
+}
+
+// STR is the paper's Sort-Tile-Recursive packing order.
+//
+// For k = 2 (paper Section 2.2): with P = ceil(r/n) leaf pages, sort the
+// rectangles by the x-coordinate of their centers and cut them into
+// S = ceil(sqrt(P)) vertical slices of S*n consecutive rectangles; then
+// sort each slice by y. The builder's subsequent grouping into runs of n
+// realizes the tiling. For k > 2 the first coordinate splits the input
+// into S = ceil(P^(1/k)) slabs of n*ceil(P^((k-1)/k)) rectangles, each
+// processed recursively as a (k-1)-dimensional data set.
+type STR struct {
+	// Workers > 1 sorts slabs concurrently (the parallel packing the
+	// paper's future-work section anticipates). Slab contents are
+	// independent after the partitioning sort, so the resulting order is
+	// identical to the sequential one.
+	Workers int
+}
+
+// Name implements rtree.Orderer.
+func (STR) Name() string { return "STR" }
+
+// Order implements rtree.Orderer.
+func (s STR) Order(entries []node.Entry, n, level int) {
+	if len(entries) < 2 {
+		return
+	}
+	if n < 1 {
+		panic("pack: node capacity < 1")
+	}
+	s.tile(entries, n, 0, entries[0].Rect.Dim())
+}
+
+// tile applies the STR step for one axis and recurses on each slab.
+func (s STR) tile(entries []node.Entry, n, axis, dims int) {
+	rem := dims - axis // coordinates still to process
+	if rem <= 1 {
+		sortByCenter(entries, axis)
+		return
+	}
+	sortByCenter(entries, axis)
+	p := (len(entries) + n - 1) / n // pages needed for this set
+	// Slab size: n * ceil(P^((rem-1)/rem)) consecutive rectangles.
+	slab := n * ceilPow(p, float64(rem-1)/float64(rem))
+	if slab < n {
+		slab = n
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers())
+	for start := 0; start < len(entries); start += slab {
+		end := start + slab
+		if end > len(entries) {
+			end = len(entries)
+		}
+		part := entries[start:end]
+		if s.workers() == 1 {
+			s.tile(part, n, axis+1, dims)
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			s.tile(part, n, axis+1, dims)
+			<-sem
+		}()
+	}
+	wg.Wait()
+}
+
+func (s STR) workers() int {
+	if s.Workers < 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+// ceilPow returns ceil(p^e) guarded against floating-point error for exact
+// powers (e.g. 100^0.5 must be exactly 10, not 11).
+func ceilPow(p int, e float64) int {
+	return int(math.Ceil(math.Pow(float64(p), e) - 1e-9))
+}
+
+// Serpentine is STR with the y-order reversed in every other slice, so the
+// packing order snakes through the tiles instead of jumping from the top
+// of one slice to the bottom of the next. It is a natural locality
+// refinement of STR (in the spirit of the paper's future-work search for
+// better orders) and is measured by the ablation benchmarks. Only the 2-D
+// case differs from STR; higher dimensions fall back to plain STR.
+type Serpentine struct{}
+
+// Name implements rtree.Orderer.
+func (Serpentine) Name() string { return "STR-serp" }
+
+// Order implements rtree.Orderer.
+func (Serpentine) Order(entries []node.Entry, n, level int) {
+	if len(entries) < 2 {
+		return
+	}
+	if entries[0].Rect.Dim() != 2 {
+		STR{}.Order(entries, n, level)
+		return
+	}
+	sortByCenter(entries, 0)
+	p := (len(entries) + n - 1) / n
+	slab := n * ceilPow(p, 0.5)
+	flip := false
+	for start := 0; start < len(entries); start += slab {
+		end := start + slab
+		if end > len(entries) {
+			end = len(entries)
+		}
+		part := entries[start:end]
+		sortByCenter(part, 1)
+		if flip {
+			for i, j := 0, len(part)-1; i < j; i, j = i+1, j-1 {
+				part[i], part[j] = part[j], part[i]
+			}
+		}
+		flip = !flip
+	}
+}
+
+// SliceFactor scales the number of STR slices by Num/Den, for the ablation
+// that checks S = ceil(sqrt(P)) is the right slice count in 2-D. Factor
+// 1/1 reproduces STR exactly.
+type SliceFactor struct {
+	Num, Den int
+}
+
+// Name implements rtree.Orderer.
+func (f SliceFactor) Name() string { return "STRx" }
+
+// Order implements rtree.Orderer.
+func (f SliceFactor) Order(entries []node.Entry, n, level int) {
+	if len(entries) < 2 {
+		return
+	}
+	num, den := f.Num, f.Den
+	if num < 1 {
+		num = 1
+	}
+	if den < 1 {
+		den = 1
+	}
+	sortByCenter(entries, 0)
+	p := (len(entries) + n - 1) / n
+	slices := ceilPow(p, 0.5) * num / den
+	if slices < 1 {
+		slices = 1
+	}
+	slab := (len(entries) + slices - 1) / slices
+	// Round the slab to whole nodes so only the final node per slice can
+	// be short.
+	slab = ((slab + n - 1) / n) * n
+	for start := 0; start < len(entries); start += slab {
+		end := start + slab
+		if end > len(entries) {
+			end = len(entries)
+		}
+		sortByCenter(entries[start:end], 1)
+	}
+}

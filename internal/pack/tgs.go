@@ -1,0 +1,128 @@
+package pack
+
+import (
+	"math"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+// TGS is the Top-down Greedy Split bulk-loading order of García, López
+// and Leutenegger (CIKM 1998) — the algorithm the STR paper's conclusion
+// anticipates ("we plan to continue our search for a better packing
+// algorithm"; TGS was that search's result, by two of the same authors).
+//
+// Where STR tiles bottom-up by sorting, TGS works top-down: to pack a set
+// needing more than one node it repeatedly applies the best *binary*
+// split — over every axis ordering and every node-aligned split point —
+// minimizing the total cost of the two resulting MBRs, then recurses on
+// both halves. The result here is expressed as a leaf ordering (the
+// recursion flattened left to right), so it plugs into the same General
+// Algorithm builder as the other packers; applying it at every level
+// reproduces the top-down structure.
+type TGS struct {
+	// UseMargin selects perimeter as the split cost instead of area.
+	// García et al. examine both; area is the default.
+	UseMargin bool
+}
+
+// Name implements rtree.Orderer.
+func (t TGS) Name() string {
+	if t.UseMargin {
+		return "TGS-margin"
+	}
+	return "TGS"
+}
+
+// Order implements rtree.Orderer.
+func (t TGS) Order(entries []node.Entry, n, level int) {
+	if len(entries) < 2 {
+		return
+	}
+	if n < 1 {
+		panic("pack: node capacity < 1")
+	}
+	t.split(entries, n)
+}
+
+// split recursively partitions entries (destined for ceil(len/n) nodes)
+// until each partition fits one node.
+func (t TGS) split(entries []node.Entry, n int) {
+	if len(entries) <= n {
+		return
+	}
+	// Split points must keep the left side a multiple of the node size so
+	// packed nodes stay full.
+	cut := t.bestCut(entries, n)
+	t.split(entries[:cut], n)
+	t.split(entries[cut:], n)
+}
+
+// bestCut reorders entries along the best axis and returns the best
+// node-aligned split position.
+func (t TGS) bestCut(entries []node.Entry, n int) int {
+	dims := entries[0].Rect.Dim()
+	nodes := (len(entries) + n - 1) / n
+	// Candidate cuts: multiples of n. To bound the O(axes * cuts * N)
+	// prefix work we precompute prefix/suffix MBRs per ordering.
+	bestAxis, bestCutIdx := 0, 1
+	bestCost := math.Inf(1)
+	for d := 0; d < dims; d++ {
+		sortByCenter(entries, d)
+		prefix := prefixMBRs(entries, n)
+		suffix := suffixMBRs(entries, n)
+		for k := 1; k < nodes; k++ {
+			cost := t.cost(prefix[k-1]) + t.cost(suffix[k])
+			if cost < bestCost {
+				bestCost = cost
+				bestAxis, bestCutIdx = d, k
+			}
+		}
+	}
+	if bestAxis != dims-1 {
+		// Entries are currently sorted by the last axis examined; restore
+		// the winning order.
+		sortByCenter(entries, bestAxis)
+	}
+	return bestCutIdx * n
+}
+
+func (t TGS) cost(r geom.Rect) float64 {
+	if t.UseMargin {
+		return r.Margin()
+	}
+	return r.Area()
+}
+
+// prefixMBRs returns, for each node-aligned prefix (first k*n entries,
+// k = 1..nodes-?), the MBR of that prefix. prefix[i] covers entries
+// [0, (i+1)*n).
+func prefixMBRs(entries []node.Entry, n int) []geom.Rect {
+	nodes := (len(entries) + n - 1) / n
+	out := make([]geom.Rect, 0, nodes-1)
+	cur := entries[0].Rect.Clone()
+	for i := 1; i < len(entries); i++ {
+		if i%n == 0 {
+			out = append(out, cur.Clone())
+		}
+		cur.UnionInPlace(entries[i].Rect)
+	}
+	return out
+}
+
+// suffixMBRs returns suffix MBRs aligned the same way: suffix[k] covers
+// entries [k*n, len).
+func suffixMBRs(entries []node.Entry, n int) []geom.Rect {
+	nodes := (len(entries) + n - 1) / n
+	out := make([]geom.Rect, nodes)
+	cur := entries[len(entries)-1].Rect.Clone()
+	next := nodes - 1
+	for i := len(entries) - 1; i >= 0; i-- {
+		cur.UnionInPlace(entries[i].Rect)
+		if i == next*n {
+			out[next] = cur.Clone()
+			next--
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package rtree
+
+import (
+	"fmt"
+
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// Orderer is a packing algorithm: it permutes entries into the sequence in
+// which they will be cut into nodes of capacity n. The paper's three
+// algorithms (NX, HS, STR) differ only in this ordering; the surrounding
+// build is identical (Section 2.2, "General Algorithm"). The level argument
+// lets an implementation behave differently above the leaves, though none
+// of the paper's algorithms do.
+type Orderer interface {
+	// Order permutes entries in place. n is the node capacity; level is the
+	// tree level being packed (0 = leaf).
+	Order(entries []node.Entry, n int, level int)
+	// Name identifies the algorithm in reports ("STR", "HS", "NX", ...).
+	Name() string
+}
+
+// BulkLoad builds the tree bottom-up from the given data entries following
+// the paper's General Algorithm:
+//
+//  1. Order the r rectangles into ceil(r/n) consecutive groups of n, each
+//     group destined for one leaf (the Orderer's job).
+//  2. Load the groups into pages and keep (MBR, page-number) per page.
+//  3. Recursively pack these MBRs into nodes at the next level, proceeding
+//     upwards, until the root node is created.
+//
+// Packed nodes are filled to exactly n entries (the last node per level may
+// hold fewer), which yields the near-100% space utilization the paper
+// credits packing for. The tree must be empty. The input slice is permuted
+// in place.
+func (t *Tree) BulkLoad(entries []node.Entry, o Orderer) error {
+	if t.height != 0 {
+		return ErrNotEmpty
+	}
+	for i := range entries {
+		if err := t.checkEntry(entries[i].Rect); err != nil {
+			return fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	if len(entries) == 0 {
+		return t.writeMeta()
+	}
+	level := 0
+	cur := entries
+	for {
+		o.Order(cur, t.capacity, level)
+		parents, err := t.packLevel(cur, level)
+		if err != nil {
+			return err
+		}
+		if len(parents) == 1 {
+			t.root = storage.PageID(parents[0].Ref)
+			t.height = level + 1
+			break
+		}
+		cur = parents
+		level++
+	}
+	t.count = uint64(len(entries))
+	return t.Flush()
+}
+
+// packLevel writes the ordered entries into nodes of capacity t.capacity at
+// the given level and returns the parent entries (MBR, page) for the next
+// level up.
+func (t *Tree) packLevel(entries []node.Entry, level int) ([]node.Entry, error) {
+	numNodes := (len(entries) + t.capacity - 1) / t.capacity
+	parents := make([]node.Entry, 0, numNodes)
+	n := node.Node{Level: level, Dims: t.dims}
+	for start := 0; start < len(entries); start += t.capacity {
+		end := start + t.capacity
+		if end > len(entries) {
+			end = len(entries)
+		}
+		n.Entries = entries[start:end]
+		id, err := t.newPage()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.writeNode(id, &n); err != nil {
+			return nil, err
+		}
+		parents = append(parents, node.Entry{Rect: n.MBR(), Ref: uint64(id)})
+	}
+	return parents, nil
+}

@@ -1,0 +1,169 @@
+package rtree
+
+import (
+	"strtree/internal/geom"
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// Delete removes the data entry with exactly this rectangle and reference,
+// following Guttman's algorithm: FindLeaf, remove, CondenseTree (underfull
+// nodes are dissolved and their entries reinserted at their original
+// level), and the root is collapsed when it has a single child. It reports
+// whether an entry was removed.
+func (t *Tree) Delete(r geom.Rect, ref uint64) (bool, error) {
+	if err := t.checkEntry(r); err != nil {
+		return false, err
+	}
+	if t.height == 0 {
+		return false, nil
+	}
+	var orphans []orphan
+	found, _, _, err := t.delete(t.root, r, ref, &orphans)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	t.count--
+
+	// Collapse the root: an internal root with one child is replaced by
+	// that child; an empty leaf root empties the tree.
+	for {
+		var root node.Node
+		if err := t.readNode(t.root, &root); err != nil {
+			return false, err
+		}
+		if root.IsLeaf() {
+			if len(root.Entries) == 0 && t.count == 0 {
+				t.freePage(t.root)
+				t.root = storage.NilPage
+				t.height = 0
+			}
+			break
+		}
+		if len(root.Entries) != 1 {
+			break
+		}
+		t.freePage(t.root)
+		t.root = storage.PageID(root.Entries[0].Ref)
+		t.height--
+	}
+
+	// Reinsert orphaned entries at their original levels, processed as a
+	// stack (higher-level subtree entries first). A stack, not an indexed
+	// walk: dissolving a too-tall orphan below pushes its children back
+	// onto the list, and those must be processed too.
+	for len(orphans) > 0 {
+		o := orphans[len(orphans)-1]
+		orphans = orphans[:len(orphans)-1]
+		if t.height == 0 {
+			// Tree emptied; orphans can only be leaf entries in that case.
+			id, err := t.newPage()
+			if err != nil {
+				return false, err
+			}
+			n := node.Node{Level: 0, Dims: t.dims, Entries: []node.Entry{o.entry}}
+			if err := t.writeNode(id, &n); err != nil {
+				return false, err
+			}
+			t.root = id
+			t.height = 1
+			continue
+		}
+		level := o.level
+		if level >= t.height {
+			// The tree shrank below the orphan's level; re-add its
+			// children instead. (Rare: only when the root collapsed.)
+			var n node.Node
+			if err := t.readNode(storage.PageID(o.entry.Ref), &n); err != nil {
+				return false, err
+			}
+			t.freePage(storage.PageID(o.entry.Ref))
+			for _, e := range n.Entries {
+				orphans = append(orphans, orphan{level: n.Level, entry: e})
+			}
+			continue
+		}
+		if err := t.insertAtLevel(o.entry, level); err != nil {
+			return false, err
+		}
+	}
+	return true, t.writeMeta()
+}
+
+// orphan is an entry displaced by CondenseTree, remembered with the level
+// it must be reinserted at. For level 0 the entry is a data entry; for
+// level L > 0 it points at a subtree of height L.
+type orphan struct {
+	level int
+	entry node.Entry
+}
+
+// delete searches the subtree on page id for the entry. It returns whether
+// the entry was found, the subtree's new MBR, and whether the node on id
+// became underfull and was dissolved (in which case its surviving entries
+// are queued in orphans and the page freed; the caller must drop its entry
+// for id).
+func (t *Tree) delete(id storage.PageID, r geom.Rect, ref uint64, orphans *[]orphan) (found bool, mbr geom.Rect, dissolved bool, err error) {
+	var n node.Node
+	if err := t.readNode(id, &n); err != nil {
+		return false, geom.Rect{}, false, err
+	}
+	if n.IsLeaf() {
+		at := -1
+		for i := range n.Entries {
+			if n.Entries[i].Ref == ref && n.Entries[i].Rect.Equal(r) {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			return false, geom.Rect{}, false, nil
+		}
+		n.Entries = append(n.Entries[:at], n.Entries[at+1:]...)
+		return t.afterRemoval(id, &n, orphans)
+	}
+	for i := range n.Entries {
+		if !n.Entries[i].Rect.Intersects(r) {
+			continue
+		}
+		childID := storage.PageID(n.Entries[i].Ref)
+		found, childMBR, childGone, err := t.delete(childID, r, ref, orphans)
+		if err != nil {
+			return false, geom.Rect{}, false, err
+		}
+		if !found {
+			continue
+		}
+		if childGone {
+			n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+		} else {
+			n.Entries[i].Rect = childMBR
+		}
+		return t.afterRemoval(id, &n, orphans)
+	}
+	return false, geom.Rect{}, false, nil
+}
+
+// afterRemoval finishes a node one of whose entries changed or vanished:
+// if the node is the root or still adequately full it is written back;
+// otherwise it dissolves into orphans.
+func (t *Tree) afterRemoval(id storage.PageID, n *node.Node, orphans *[]orphan) (bool, geom.Rect, bool, error) {
+	isRoot := id == t.root
+	if !isRoot && len(n.Entries) < t.minFill {
+		for _, e := range n.Entries {
+			*orphans = append(*orphans, orphan{level: n.Level, entry: e})
+		}
+		t.freePage(id)
+		return true, geom.Rect{}, true, nil
+	}
+	if err := t.writeNode(id, n); err != nil {
+		return false, geom.Rect{}, false, err
+	}
+	if len(n.Entries) == 0 {
+		return true, geom.UnitCube(t.dims), false, nil // empty root; MBR unused
+	}
+	return true, n.MBR(), false, nil
+}

@@ -1,0 +1,365 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// Insert adds one data entry using Guttman's dynamic insertion algorithm:
+// ChooseLeaf descends by least area enlargement, overflowing nodes split
+// (linear or quadratic per the tree's configuration), and MBRs are adjusted
+// up the path. This is the one-object-at-a-time loading whose shortcomings
+// — load time, space utilization and query quality — motivate packing in
+// the paper's introduction.
+func (t *Tree) Insert(r geom.Rect, ref uint64) error {
+	if err := t.checkEntry(r); err != nil {
+		return err
+	}
+	e := node.Entry{Rect: r.Clone(), Ref: ref}
+	if t.height == 0 {
+		id, err := t.newPage()
+		if err != nil {
+			return err
+		}
+		root := node.Node{Level: 0, Dims: t.dims, Entries: []node.Entry{e}}
+		if err := t.writeNode(id, &root); err != nil {
+			return err
+		}
+		t.root = id
+		t.height = 1
+		t.count = 1
+		return t.writeMeta()
+	}
+	if t.forcedReinsert {
+		t.reinsert.active = true
+		t.reinsert.done = make(map[int]bool)
+		defer func() {
+			t.reinsert.active = false
+			t.reinsert.done = nil
+			// On an error path undrained evictions must not leak into
+			// the next insertion.
+			t.reinsert.pending = t.reinsert.pending[:0]
+		}()
+	}
+	if err := t.insertAtLevel(e, 0); err != nil {
+		return err
+	}
+	// Forced reinsertion: entries evicted from overflowing nodes go back
+	// in now; their levels are marked done, so a second overflow there
+	// splits normally.
+	for len(t.reinsert.pending) > 0 {
+		o := t.reinsert.pending[len(t.reinsert.pending)-1]
+		t.reinsert.pending = t.reinsert.pending[:len(t.reinsert.pending)-1]
+		if err := t.insertAtLevel(o.entry, o.level); err != nil {
+			return err
+		}
+	}
+	t.count++
+	return t.writeMeta()
+}
+
+// insertAtLevel places e at the given level (0 = leaf), growing the tree if
+// the root splits. Reinsertion during deletion uses level > 0 to put
+// orphaned subtrees back at their original height.
+func (t *Tree) insertAtLevel(e node.Entry, level int) error {
+	_, split, err := t.insert(t.root, e, level)
+	if err != nil {
+		return err
+	}
+	if split == nil {
+		return nil
+	}
+	// Root split: the tree grows a level.
+	var oldRoot node.Node
+	if err := t.readNode(t.root, &oldRoot); err != nil {
+		return err
+	}
+	newRootID, err := t.newPage()
+	if err != nil {
+		return err
+	}
+	newRoot := node.Node{
+		Level: t.height,
+		Dims:  t.dims,
+		Entries: []node.Entry{
+			{Rect: oldRoot.MBR(), Ref: uint64(t.root)},
+			*split,
+		},
+	}
+	if err := t.writeNode(newRootID, &newRoot); err != nil {
+		return err
+	}
+	t.root = newRootID
+	t.height++
+	return nil
+}
+
+// insert recursively places e in the subtree rooted at page id. It returns
+// the subtree's new MBR and, if the node on id overflowed and split, the
+// entry for the freshly created sibling page.
+func (t *Tree) insert(id storage.PageID, e node.Entry, targetLevel int) (geom.Rect, *node.Entry, error) {
+	var n node.Node
+	if err := t.readNode(id, &n); err != nil {
+		return geom.Rect{}, nil, err
+	}
+	if n.Level == targetLevel {
+		n.Entries = append(n.Entries, e)
+		return t.finishNode(id, &n)
+	}
+	// ChooseSubtree: least enlargement, ties by least area.
+	best := chooseSubtree(n.Entries, e.Rect)
+	childRect, split, err := t.insert(storage.PageID(n.Entries[best].Ref), e, targetLevel)
+	if err != nil {
+		return geom.Rect{}, nil, err
+	}
+	n.Entries[best].Rect = childRect
+	if split != nil {
+		n.Entries = append(n.Entries, *split)
+	}
+	return t.finishNode(id, &n)
+}
+
+// finishNode writes n back to page id, splitting first if it overflowed.
+// With forced reinsertion enabled, the first overflow at each level of an
+// insertion evicts the 30% of entries farthest from the node center for
+// reinsertion instead of splitting (R*-tree OverflowTreatment).
+func (t *Tree) finishNode(id storage.PageID, n *node.Node) (geom.Rect, *node.Entry, error) {
+	if len(n.Entries) <= t.capacity {
+		if err := t.writeNode(id, n); err != nil {
+			return geom.Rect{}, nil, err
+		}
+		return n.MBR(), nil, nil
+	}
+	if t.reinsert.active && id != t.root && !t.reinsert.done[n.Level] {
+		t.reinsert.done[n.Level] = true
+		evicted := evictFarthest(n, len(n.Entries)*3/10)
+		for _, e := range evicted {
+			t.reinsert.pending = append(t.reinsert.pending, orphan{level: n.Level, entry: e})
+		}
+		if err := t.writeNode(id, n); err != nil {
+			return geom.Rect{}, nil, err
+		}
+		return n.MBR(), nil, nil
+	}
+	left, right := t.splitEntries(n.Entries)
+	n.Entries = left
+	if err := t.writeNode(id, n); err != nil {
+		return geom.Rect{}, nil, err
+	}
+	sibID, err := t.newPage()
+	if err != nil {
+		return geom.Rect{}, nil, err
+	}
+	sib := node.Node{Level: n.Level, Dims: n.Dims, Entries: right}
+	if err := t.writeNode(sibID, &sib); err != nil {
+		return geom.Rect{}, nil, err
+	}
+	return n.MBR(), &node.Entry{Rect: sib.MBR(), Ref: uint64(sibID)}, nil
+}
+
+// evictFarthest removes the count entries whose centers are farthest from
+// the node MBR's center, returning them (deep-copied) for reinsertion. At
+// least one entry is evicted so the node drops below capacity.
+func evictFarthest(n *node.Node, count int) []node.Entry {
+	if count < 1 {
+		count = 1
+	}
+	center := n.MBR().Center()
+	type scored struct {
+		idx  int
+		dist float64
+	}
+	scores := make([]scored, len(n.Entries))
+	for i := range n.Entries {
+		d := 0.0
+		for axis := range center {
+			delta := n.Entries[i].Rect.CenterAxis(axis) - center[axis]
+			d += delta * delta
+		}
+		scores[i] = scored{idx: i, dist: d}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].dist > scores[j].dist })
+	evictSet := make(map[int]bool, count)
+	for _, s := range scores[:count] {
+		evictSet[s.idx] = true
+	}
+	var evicted, kept []node.Entry
+	for i := range n.Entries {
+		if evictSet[i] {
+			evicted = append(evicted, node.Entry{Rect: n.Entries[i].Rect.Clone(), Ref: n.Entries[i].Ref})
+		} else {
+			kept = append(kept, n.Entries[i])
+		}
+	}
+	n.Entries = kept
+	return evicted
+}
+
+// chooseSubtree returns the index of the entry needing least enlargement to
+// cover r, breaking ties by smallest area (Guttman's ChooseLeaf step CL3).
+func chooseSubtree(entries []node.Entry, r geom.Rect) int {
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range entries {
+		enl := entries[i].Rect.Enlargement(r)
+		area := entries[i].Rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitEntries divides an overflowing entry set (capacity+1 long) into two
+// groups per the configured heuristic. Both groups receive at least
+// minFill entries.
+func (t *Tree) splitEntries(entries []node.Entry) (left, right []node.Entry) {
+	switch t.split {
+	case SplitQuadratic:
+		return splitQuadratic(entries, t.minFill)
+	case SplitRStar:
+		return splitRStar(entries, t.minFill)
+	default:
+		return splitLinear(entries, t.minFill)
+	}
+}
+
+// splitLinear is Guttman's linear split: pick the two seeds with greatest
+// normalized separation along any axis, then assign the rest in input
+// order to the group needing least enlargement.
+func splitLinear(entries []node.Entry, minFill int) (left, right []node.Entry) {
+	dims := entries[0].Rect.Dim()
+	seedA, seedB := 0, 1
+	bestSep := math.Inf(-1)
+	for d := 0; d < dims; d++ {
+		// Highest low side and lowest high side, plus the axis extent.
+		hiLow, loHigh := 0, 0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range entries {
+			r := entries[i].Rect
+			if r.Min[d] > entries[hiLow].Rect.Min[d] {
+				hiLow = i
+			}
+			if r.Max[d] < entries[loHigh].Rect.Max[d] {
+				loHigh = i
+			}
+			lo = math.Min(lo, r.Min[d])
+			hi = math.Max(hi, r.Max[d])
+		}
+		if hiLow == loHigh {
+			continue
+		}
+		sep := entries[hiLow].Rect.Min[d] - entries[loHigh].Rect.Max[d]
+		if width := hi - lo; width > 0 {
+			sep /= width
+		}
+		if sep > bestSep {
+			bestSep = sep
+			seedA, seedB = loHigh, hiLow
+		}
+	}
+	return distribute(entries, seedA, seedB, minFill)
+}
+
+// splitQuadratic is Guttman's quadratic split: seeds are the pair wasting
+// the most area if grouped together; remaining entries are assigned one at
+// a time, each time picking the entry with the strongest preference.
+func splitQuadratic(entries []node.Entry, minFill int) (left, right []node.Entry) {
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].Rect.Union(entries[j].Rect).Area() -
+				entries[i].Rect.Area() - entries[j].Rect.Area()
+			if d > worst {
+				worst = d
+				seedA, seedB = i, j
+			}
+		}
+	}
+	la := entries[seedA].Rect.Clone()
+	lb := entries[seedB].Rect.Clone()
+	left = append(left, entries[seedA])
+	right = append(right, entries[seedB])
+	rest := make([]node.Entry, 0, len(entries)-2)
+	for i := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, entries[i])
+		}
+	}
+	for len(rest) > 0 {
+		// Force-assign when one group must take everything left to reach
+		// minFill.
+		if len(left)+len(rest) == minFill {
+			left = append(left, rest...)
+			break
+		}
+		if len(right)+len(rest) == minFill {
+			right = append(right, rest...)
+			break
+		}
+		// PickNext: the entry with maximum |d1 - d2|.
+		pick, pickDiff := 0, -1.0
+		for i := range rest {
+			d1 := la.Enlargement(rest[i].Rect)
+			d2 := lb.Enlargement(rest[i].Rect)
+			if diff := math.Abs(d1 - d2); diff > pickDiff {
+				pick, pickDiff = i, diff
+			}
+		}
+		e := rest[pick]
+		rest = append(rest[:pick], rest[pick+1:]...)
+		d1, d2 := la.Enlargement(e.Rect), lb.Enlargement(e.Rect)
+		switch {
+		case d1 < d2, d1 == d2 && la.Area() < lb.Area(),
+			d1 == d2 && la.Area() == lb.Area() && len(left) <= len(right):
+			left = append(left, e)
+			la.UnionInPlace(e.Rect)
+		default:
+			right = append(right, e)
+			lb.UnionInPlace(e.Rect)
+		}
+	}
+	return left, right
+}
+
+// distribute assigns entries to the groups seeded by seedA and seedB by
+// least enlargement, forcing assignment when a group must absorb the rest
+// to reach minFill (shared by the linear split).
+func distribute(entries []node.Entry, seedA, seedB, minFill int) (left, right []node.Entry) {
+	la := entries[seedA].Rect.Clone()
+	lb := entries[seedB].Rect.Clone()
+	left = append(left, entries[seedA])
+	right = append(right, entries[seedB])
+	remaining := len(entries) - 2
+	for i := range entries {
+		if i == seedA || i == seedB {
+			continue
+		}
+		e := entries[i]
+		switch {
+		case len(left)+remaining == minFill:
+			left = append(left, e)
+			la.UnionInPlace(e.Rect)
+		case len(right)+remaining == minFill:
+			right = append(right, e)
+			lb.UnionInPlace(e.Rect)
+		default:
+			d1, d2 := la.Enlargement(e.Rect), lb.Enlargement(e.Rect)
+			if d1 < d2 || (d1 == d2 && len(left) <= len(right)) {
+				left = append(left, e)
+				la.UnionInPlace(e.Rect)
+			} else {
+				right = append(right, e)
+				lb.UnionInPlace(e.Rect)
+			}
+		}
+		remaining--
+	}
+	return left, right
+}

@@ -1,0 +1,116 @@
+package rtree
+
+import (
+	"fmt"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// Join reports every pair of data entries (ea from a, eb from b) whose
+// rectangles intersect, using the classical synchronized depth-first
+// traversal of both trees: a pair of nodes is expanded only if their MBRs
+// intersect, so disjoint subtrees are never read. Returning false from fn
+// stops the join.
+//
+// Joining a tree with itself reports symmetric pairs twice and every entry
+// paired with itself; callers wanting unordered distinct pairs should
+// filter on ea.Ref < eb.Ref.
+func Join(a, b *Tree, fn func(ea, eb node.Entry) bool) error {
+	return JoinWithin(a, b, 0, fn)
+}
+
+// JoinWithin reports every pair of data entries whose rectangles lie
+// within Euclidean distance dist of each other (dist 0 reduces to the
+// intersection join). Node pairs farther apart than dist are pruned
+// before their subtrees are read.
+func JoinWithin(a, b *Tree, dist float64, fn func(ea, eb node.Entry) bool) error {
+	if a.dims != b.dims {
+		return fmt.Errorf("rtree: join dimensions disagree: %d vs %d", a.dims, b.dims)
+	}
+	if dist < 0 {
+		return fmt.Errorf("rtree: negative join distance %g", dist)
+	}
+	if a.height == 0 || b.height == 0 {
+		return nil
+	}
+	j := &joiner{a: a, b: b, dist: dist, fn: fn}
+	_, err := j.visit(a.root, b.root)
+	return err
+}
+
+type joiner struct {
+	a, b *Tree
+	dist float64
+	fn   func(ea, eb node.Entry) bool
+}
+
+// near reports whether two rectangles are within the join distance.
+func (j *joiner) near(a, b geom.Rect) bool {
+	if j.dist == 0 {
+		return a.Intersects(b)
+	}
+	return a.Dist(b) <= j.dist
+}
+
+// visit expands the node pair (pa, pb). It returns false when the caller
+// should stop the whole join.
+func (j *joiner) visit(pa, pb storage.PageID) (more bool, err error) {
+	var na, nb node.Node
+	if err := j.a.readNode(pa, &na); err != nil {
+		return false, err
+	}
+	if err := j.b.readNode(pb, &nb); err != nil {
+		return false, err
+	}
+	switch {
+	case na.IsLeaf() && nb.IsLeaf():
+		for _, ea := range na.Entries {
+			for _, eb := range nb.Entries {
+				if !j.near(ea.Rect, eb.Rect) {
+					continue
+				}
+				if !j.fn(ea, eb) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+
+	case !na.IsLeaf() && (nb.IsLeaf() || na.Level >= nb.Level):
+		// Descend the taller (or internal) side a. Copy the entries we
+		// need before recursing: readNode reuses node storage.
+		nbMBR := nb.MBR()
+		children := j.childPages(&na, nbMBR)
+		for _, child := range children {
+			more, err := j.visit(child, pb)
+			if err != nil || !more {
+				return more, err
+			}
+		}
+		return true, nil
+
+	default:
+		naMBR := na.MBR()
+		children := j.childPages(&nb, naMBR)
+		for _, child := range children {
+			more, err := j.visit(pa, child)
+			if err != nil || !more {
+				return more, err
+			}
+		}
+		return true, nil
+	}
+}
+
+// childPages lists the children of n within the join distance of filter.
+func (j *joiner) childPages(n *node.Node, filter geom.Rect) []storage.PageID {
+	var out []storage.PageID
+	for _, e := range n.Entries {
+		if j.near(filter, e.Rect) {
+			out = append(out, storage.PageID(e.Ref))
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// Nearest streams data entries in order of increasing distance from p
+// (branch-and-bound best-first search in the style of Hjaltason and
+// Samet). Distance is the minimum Euclidean distance from p to the entry's
+// rectangle, so entries containing p arrive first with distance 0.
+// Returning false from fn stops the search; a k-nearest-neighbor query
+// returns false after consuming k entries.
+//
+// Like Search, every node visited costs one buffer fetch, so the pool's
+// DiskReads delta measures the query's I/O.
+func (t *Tree) Nearest(p geom.Point, fn func(e node.Entry, dist float64) bool) error {
+	if len(p) != t.dims {
+		return t.checkEntry(geom.PointRect(p)) // produces the dimension error
+	}
+	if t.height == 0 {
+		return nil
+	}
+	pq := &distQueue{}
+	heap.Push(pq, distItem{dist: 0, page: t.root, isNode: true})
+	var n node.Node
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if !it.isNode {
+			if !fn(it.entry, it.dist) {
+				return nil
+			}
+			continue
+		}
+		if err := t.readNode(it.page, &n); err != nil {
+			return err
+		}
+		for _, e := range n.Entries {
+			d := minDist(p, e.Rect)
+			if n.IsLeaf() {
+				// Deep-copy the rectangle: n's entry storage is reused by
+				// the next readNode.
+				heap.Push(pq, distItem{dist: d, entry: node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref}, isNode: false})
+			} else {
+				heap.Push(pq, distItem{dist: d, page: storage.PageID(e.Ref), isNode: true})
+			}
+		}
+	}
+	return nil
+}
+
+// NearestK collects the k nearest entries to p.
+func (t *Tree) NearestK(p geom.Point, k int) ([]node.Entry, []float64, error) {
+	if k <= 0 {
+		return nil, nil, nil
+	}
+	entries := make([]node.Entry, 0, k)
+	dists := make([]float64, 0, k)
+	err := t.Nearest(p, func(e node.Entry, d float64) bool {
+		entries = append(entries, e)
+		dists = append(dists, d)
+		return len(entries) < k
+	})
+	return entries, dists, err
+}
+
+// minDist returns the squared-free Euclidean distance from a point to the
+// nearest point of a rectangle (0 if the point is inside).
+func minDist(p geom.Point, r geom.Rect) float64 {
+	sum := 0.0
+	for i := range p {
+		var d float64
+		switch {
+		case p[i] < r.Min[i]:
+			d = r.Min[i] - p[i]
+		case p[i] > r.Max[i]:
+			d = p[i] - r.Max[i]
+		}
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// distItem is a prioritized node page or data entry.
+type distItem struct {
+	dist   float64
+	page   storage.PageID
+	entry  node.Entry
+	isNode bool
+}
+
+// distQueue is a min-heap on distance; ties prefer data entries so results
+// surface as early as possible.
+type distQueue []distItem
+
+func (q distQueue) Len() int { return len(q) }
+func (q distQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return !q[i].isNode && q[j].isNode
+}
+func (q distQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *distQueue) Push(x any)   { *q = append(*q, x.(distItem)) }
+func (q *distQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

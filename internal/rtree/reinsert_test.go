@@ -1,0 +1,135 @@
+package rtree
+
+import (
+	"testing"
+
+	"strtree/internal/buffer"
+	"strtree/internal/geom"
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+func TestEvictFarthest(t *testing.T) {
+	n := &node.Node{Level: 0, Dims: 2, Entries: []node.Entry{
+		{Rect: geom.R2(0.49, 0.49, 0.51, 0.51), Ref: 1}, // center
+		{Rect: geom.R2(0.48, 0.48, 0.52, 0.52), Ref: 2}, // center
+		{Rect: geom.R2(0.0, 0.0, 0.02, 0.02), Ref: 3},   // far corner
+		{Rect: geom.R2(0.97, 0.97, 1.0, 1.0), Ref: 4},   // far corner
+	}}
+	evicted := evictFarthest(n, 2)
+	if len(evicted) != 2 || len(n.Entries) != 2 {
+		t.Fatalf("evicted %d, kept %d", len(evicted), len(n.Entries))
+	}
+	for _, e := range evicted {
+		if e.Ref != 3 && e.Ref != 4 {
+			t.Fatalf("evicted central entry %d", e.Ref)
+		}
+	}
+	// At least one entry is always evicted.
+	if got := evictFarthest(n, 0); len(got) != 1 {
+		t.Fatalf("zero-count eviction returned %d", len(got))
+	}
+}
+
+func TestForcedReinsertInsertCorrect(t *testing.T) {
+	pool := buffer.NewPool(storage.NewMemPager(4096), 512)
+	tr, err := Create(pool, Config{Dims: 2, Capacity: 10, Split: SplitRStar, ForcedReinsert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := randRects(1500, 85)
+	for _, e := range entries {
+		if err := tr.Insert(e.Rect, e.Ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 1500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkSearchAgainstBrute(t, tr, entries, 86)
+}
+
+func TestForcedReinsertImprovesQuality(t *testing.T) {
+	entries := randRects(3000, 87)
+	leafArea := func(cfg Config) float64 {
+		pool := buffer.NewPool(storage.NewMemPager(4096), 1024)
+		tr, err := Create(pool, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if err := tr.Insert(e.Rect, e.Ref); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		area := 0.0
+		if err := tr.Walk(func(_ storage.PageID, n *node.Node) bool {
+			if n.IsLeaf() {
+				area += n.MBR().Area()
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return area
+	}
+	plain := leafArea(Config{Dims: 2, Capacity: 16, Split: SplitRStar})
+	reins := leafArea(Config{Dims: 2, Capacity: 16, Split: SplitRStar, ForcedReinsert: true})
+	if reins > plain*1.10 {
+		t.Fatalf("forced reinsert leaf area %.4f much worse than plain %.4f", reins, plain)
+	}
+}
+
+func TestForcedReinsertPersists(t *testing.T) {
+	pool := buffer.NewPool(storage.NewMemPager(4096), 64)
+	tr, err := Create(pool, Config{Dims: 2, Capacity: 8, ForcedReinsert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(geom.R2(0, 0, 0.1, 0.1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.forcedReinsert {
+		t.Fatal("forcedReinsert flag lost across reopen")
+	}
+}
+
+func TestForcedReinsertWithDeletes(t *testing.T) {
+	pool := buffer.NewPool(storage.NewMemPager(4096), 512)
+	tr, err := Create(pool, Config{Dims: 2, Capacity: 8, Split: SplitRStar, ForcedReinsert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := randRects(500, 88)
+	for _, e := range entries {
+		if err := tr.Insert(e.Rect, e.Ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range entries[:250] {
+		ok, err := tr.Delete(e.Rect, e.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("ref %d missing", e.Ref)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkSearchAgainstBrute(t, tr, entries[250:], 89)
+}

@@ -1,0 +1,89 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+// SplitRStar is the topological split of Beckmann et al.'s R*-tree — the
+// "other dynamic algorithms [1]" the paper credits with improving R-tree
+// quality while "still not competitive ... when compared to loading
+// algorithms". It is implemented here so the repository can measure that
+// claim directly (BenchmarkAblationSplits): choose the split axis by
+// minimum total margin over all distributions, then the split index by
+// minimum overlap (ties: minimum total area).
+const SplitRStar SplitAlgorithm = 2
+
+// splitRStar divides an overflowing entry set per the R*-tree split.
+func splitRStar(entries []node.Entry, minFill int) (left, right []node.Entry) {
+	dims := entries[0].Rect.Dim()
+	m := len(entries)
+	if minFill < 1 {
+		minFill = 1
+	}
+	maxK := m - minFill // split positions: minFill .. maxK
+
+	// ChooseSplitAxis: for each axis, sort by lower then by upper value
+	// and sum the margins of every legal distribution; pick the axis with
+	// the smallest sum.
+	bestAxis, bestMargin := 0, math.Inf(1)
+	for d := 0; d < dims; d++ {
+		for _, byUpper := range []bool{false, true} {
+			sortAxis(entries, d, byUpper)
+			margin := 0.0
+			for k := minFill; k <= maxK; k++ {
+				margin += geom.MBR(rects(entries[:k])).Margin() +
+					geom.MBR(rects(entries[k:])).Margin()
+			}
+			if margin < bestMargin {
+				bestMargin, bestAxis = margin, d
+			}
+		}
+	}
+
+	// ChooseSplitIndex on the chosen axis: minimum overlap, ties by area.
+	bestK, bestOverlap, bestArea := minFill, math.Inf(1), math.Inf(1)
+	var bestUpper bool
+	for _, byUpper := range []bool{false, true} {
+		sortAxis(entries, bestAxis, byUpper)
+		for k := minFill; k <= maxK; k++ {
+			l := geom.MBR(rects(entries[:k]))
+			r := geom.MBR(rects(entries[k:]))
+			overlap := 0.0
+			if inter, ok := l.Intersect(r); ok {
+				overlap = inter.Area()
+			}
+			area := l.Area() + r.Area()
+			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+				bestOverlap, bestArea, bestK, bestUpper = overlap, area, k, byUpper
+			}
+		}
+	}
+	sortAxis(entries, bestAxis, bestUpper)
+	left = append([]node.Entry(nil), entries[:bestK]...)
+	right = append([]node.Entry(nil), entries[bestK:]...)
+	return left, right
+}
+
+func sortAxis(entries []node.Entry, axis int, byUpper bool) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if byUpper {
+			return entries[i].Rect.Max[axis] < entries[j].Rect.Max[axis]
+		}
+		if entries[i].Rect.Min[axis] != entries[j].Rect.Min[axis] {
+			return entries[i].Rect.Min[axis] < entries[j].Rect.Min[axis]
+		}
+		return entries[i].Rect.Max[axis] < entries[j].Rect.Max[axis]
+	})
+}
+
+func rects(entries []node.Entry) []geom.Rect {
+	out := make([]geom.Rect, len(entries))
+	for i := range entries {
+		out[i] = entries[i].Rect
+	}
+	return out
+}

@@ -1,0 +1,441 @@
+// Package rtree implements the paged R-tree the STR paper evaluates: a
+// Guttman R-tree whose nodes live one-per-disk-page behind an LRU buffer
+// pool, with bottom-up bulk loading (the paper's "General Algorithm",
+// Section 2.2), dynamic insertion and deletion (for the paper's
+// motivation: comparing packed trees against one-at-a-time loading), and
+// point/region intersection queries whose cost is measured in buffer
+// misses.
+//
+// Mutations are not atomic across pages: an Insert or Delete that fails
+// midway on an I/O error can leave the tree structurally inconsistent
+// until rebuilt from its entries. That matches the paper's scope —
+// packing and querying — not crash recovery; a deployment needing
+// durability layers a write-ahead log beneath the pager.
+package rtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"strtree/internal/buffer"
+	"strtree/internal/geom"
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// SplitAlgorithm selects the node-splitting heuristic for dynamic inserts.
+type SplitAlgorithm uint8
+
+const (
+	// SplitLinear is Guttman's linear-cost split.
+	SplitLinear SplitAlgorithm = iota
+	// SplitQuadratic is Guttman's quadratic-cost split, the variant his
+	// paper recommends.
+	SplitQuadratic
+)
+
+// String returns the split algorithm's name.
+func (s SplitAlgorithm) String() string {
+	switch s {
+	case SplitLinear:
+		return "linear"
+	case SplitQuadratic:
+		return "quadratic"
+	case SplitRStar:
+		return "rstar"
+	default:
+		return fmt.Sprintf("SplitAlgorithm(%d)", uint8(s))
+	}
+}
+
+// Config controls tree creation.
+type Config struct {
+	// Dims is the dimensionality k of the indexed rectangles.
+	Dims int
+	// Capacity is the maximum entries per node, the paper's n (100 in all
+	// its experiments). Zero means "as many as fit in a page".
+	Capacity int
+	// MinFill is the minimum entries per non-root node enforced by dynamic
+	// deletes, Guttman's m <= M/2. Zero means 40% of Capacity.
+	MinFill int
+	// Split selects the overflow-split heuristic for dynamic inserts.
+	Split SplitAlgorithm
+	// ForcedReinsert enables the R*-tree's forced reinsertion: the first
+	// time a node overflows at each level during one insertion, the 30%
+	// of its entries farthest from the node center are reinserted instead
+	// of splitting, which keeps MBRs tighter under dynamic load.
+	ForcedReinsert bool
+}
+
+// Tree is a paged R-tree. All page access goes through the buffer pool, so
+// the pool's DiskReads counter is exactly the paper's number of disk
+// accesses. A Tree is not safe for concurrent mutation; concurrent Search
+// calls are safe only through independent Trees sharing a pager.
+type Tree struct {
+	pool           *buffer.Pool
+	dims           int
+	capacity       int
+	minFill        int
+	split          SplitAlgorithm
+	forcedReinsert bool
+
+	metaPage storage.PageID
+	root     storage.PageID
+	height   int // number of levels; 0 = empty, 1 = root is a leaf
+	count    uint64
+	free     []storage.PageID
+
+	// reinsert carries forced-reinsertion state for the insertion in
+	// flight (single-writer, like all mutations).
+	reinsert struct {
+		active  bool
+		done    map[int]bool
+		pending []orphan
+	}
+}
+
+const (
+	metaMagic   uint32 = 0x4D525453 // "STRM"
+	metaVersion byte   = 1
+	metaFixed          = 28 // bytes before the free-page list
+)
+
+// Errors returned by tree operations.
+var (
+	ErrNotEmpty = errors.New("rtree: tree is not empty")
+	ErrEmpty    = errors.New("rtree: tree is empty")
+	ErrBadMeta  = errors.New("rtree: bad meta page")
+)
+
+// Create initializes a new empty tree on the pool's pager. The pager must
+// be empty: the tree claims page 0 for its metadata. To place several
+// trees on one pager (each with its own meta page), use CreateAt.
+func Create(pool *buffer.Pool, cfg Config) (*Tree, error) {
+	if pool.Pager().NumPages() != 0 {
+		return nil, fmt.Errorf("rtree: pager already holds %d pages", pool.Pager().NumPages())
+	}
+	return CreateAt(pool, cfg)
+}
+
+// CreateAt initializes a new empty tree whose meta page is freshly
+// allocated from the pool's pager, wherever that lands. Callers (e.g. a
+// multi-layer catalog) record the returned tree's MetaPage to reopen it
+// later with OpenAt.
+func CreateAt(pool *buffer.Pool, cfg Config) (*Tree, error) {
+	if cfg.Dims <= 0 || cfg.Dims > 255 {
+		return nil, fmt.Errorf("rtree: invalid dims %d", cfg.Dims)
+	}
+	pageCap := node.Capacity(pool.Pager().PageSize(), cfg.Dims)
+	if pageCap < 2 {
+		return nil, fmt.Errorf("rtree: page size %d too small for %d-d nodes", pool.Pager().PageSize(), cfg.Dims)
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = pageCap
+	}
+	if cfg.Capacity < 2 || cfg.Capacity > pageCap {
+		return nil, fmt.Errorf("rtree: capacity %d out of range [2, %d]", cfg.Capacity, pageCap)
+	}
+	if cfg.MinFill == 0 {
+		cfg.MinFill = cfg.Capacity * 2 / 5
+		if cfg.MinFill < 1 {
+			cfg.MinFill = 1
+		}
+	}
+	if cfg.MinFill < 1 || cfg.MinFill > cfg.Capacity/2 {
+		return nil, fmt.Errorf("rtree: min fill %d out of range [1, %d]", cfg.MinFill, cfg.Capacity/2)
+	}
+	f, err := pool.Create()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		pool:           pool,
+		dims:           cfg.Dims,
+		capacity:       cfg.Capacity,
+		minFill:        cfg.MinFill,
+		split:          cfg.Split,
+		forcedReinsert: cfg.ForcedReinsert,
+		metaPage:       f.ID(),
+		root:           storage.NilPage,
+	}
+	t.encodeMeta(f.Data())
+	f.MarkDirty()
+	pool.Release(f)
+	return t, nil
+}
+
+// Open loads an existing tree whose meta page is page 0 (the single-tree
+// layout written by Create).
+func Open(pool *buffer.Pool) (*Tree, error) {
+	return OpenAt(pool, 0)
+}
+
+// OpenAt loads an existing tree from the given meta page.
+func OpenAt(pool *buffer.Pool, metaPage storage.PageID) (*Tree, error) {
+	if int(metaPage) >= pool.Pager().NumPages() {
+		return nil, fmt.Errorf("%w: meta page %d out of range", ErrBadMeta, metaPage)
+	}
+	f, err := pool.Fetch(metaPage)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Release(f)
+	t := &Tree{pool: pool, metaPage: metaPage}
+	if err := t.decodeMeta(f.Data()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MetaPage returns the page holding the tree's metadata.
+func (t *Tree) MetaPage() storage.PageID { return t.metaPage }
+
+func (t *Tree) encodeMeta(page []byte) {
+	binary.LittleEndian.PutUint32(page[0:], metaMagic)
+	page[4] = metaVersion
+	page[5] = byte(t.dims)
+	binary.LittleEndian.PutUint16(page[6:], uint16(t.capacity))
+	binary.LittleEndian.PutUint16(page[8:], uint16(t.minFill))
+	binary.LittleEndian.PutUint16(page[10:], uint16(t.height))
+	binary.LittleEndian.PutUint32(page[12:], uint32(t.root))
+	binary.LittleEndian.PutUint64(page[16:], t.count)
+	page[24] = byte(t.split)
+	page[25] = 0
+	if t.forcedReinsert {
+		page[25] |= 1
+	}
+	// Persist as much of the free list as fits; overflowing ids are leaked,
+	// which costs space but never correctness.
+	maxFree := (len(page) - metaFixed) / 4
+	n := len(t.free)
+	if n > maxFree {
+		n = maxFree
+	}
+	binary.LittleEndian.PutUint16(page[26:], uint16(n))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(page[metaFixed+4*i:], uint32(t.free[i]))
+	}
+}
+
+func (t *Tree) decodeMeta(page []byte) error {
+	if len(page) < metaFixed || binary.LittleEndian.Uint32(page[0:]) != metaMagic {
+		return ErrBadMeta
+	}
+	if page[4] != metaVersion {
+		return fmt.Errorf("%w: version %d", ErrBadMeta, page[4])
+	}
+	t.dims = int(page[5])
+	t.capacity = int(binary.LittleEndian.Uint16(page[6:]))
+	t.minFill = int(binary.LittleEndian.Uint16(page[8:]))
+	t.height = int(binary.LittleEndian.Uint16(page[10:]))
+	t.root = storage.PageID(binary.LittleEndian.Uint32(page[12:]))
+	t.count = binary.LittleEndian.Uint64(page[16:])
+	t.split = SplitAlgorithm(page[24])
+	t.forcedReinsert = page[25]&1 != 0
+	nfree := int(binary.LittleEndian.Uint16(page[26:]))
+	if metaFixed+4*nfree > len(page) {
+		return fmt.Errorf("%w: free list overflows page", ErrBadMeta)
+	}
+	t.free = make([]storage.PageID, nfree)
+	for i := range t.free {
+		t.free[i] = storage.PageID(binary.LittleEndian.Uint32(page[metaFixed+4*i:]))
+	}
+	return nil
+}
+
+// writeMeta persists the in-memory metadata to the meta page.
+func (t *Tree) writeMeta() error {
+	f, err := t.pool.Fetch(t.metaPage)
+	if err != nil {
+		return err
+	}
+	t.encodeMeta(f.Data())
+	f.MarkDirty()
+	t.pool.Release(f)
+	return nil
+}
+
+// Dims returns the tree's dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Capacity returns the maximum entries per node (the paper's n).
+func (t *Tree) Capacity() int { return t.capacity }
+
+// MinFill returns the minimum entries per non-root node.
+func (t *Tree) MinFill() int { return t.minFill }
+
+// Height returns the number of levels (0 for an empty tree, 1 when the
+// root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of data entries in the tree.
+func (t *Tree) Len() int { return int(t.count) }
+
+// Root returns the root page id, or storage.NilPage for an empty tree.
+func (t *Tree) Root() storage.PageID { return t.root }
+
+// Pool returns the tree's buffer pool, whose Stats carry the disk-access
+// counts the experiments report.
+func (t *Tree) Pool() *buffer.Pool { return t.pool }
+
+// Flush writes all buffered dirty pages and the metadata to the pager.
+func (t *Tree) Flush() error {
+	if err := t.writeMeta(); err != nil {
+		return err
+	}
+	return t.pool.FlushAll()
+}
+
+// readNode loads the node stored on page id into dst.
+func (t *Tree) readNode(id storage.PageID, dst *node.Node) error {
+	f, err := t.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	err = node.Unmarshal(f.Data(), dst)
+	t.pool.Release(f)
+	if err != nil {
+		return fmt.Errorf("rtree: page %d: %w", id, err)
+	}
+	return nil
+}
+
+// writeNode serializes n onto page id.
+func (t *Tree) writeNode(id storage.PageID, n *node.Node) error {
+	f, err := t.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	err = node.Marshal(n, f.Data())
+	if err == nil {
+		f.MarkDirty()
+	}
+	t.pool.Release(f)
+	return err
+}
+
+// newPage allocates a page for a new node, recycling freed pages first.
+func (t *Tree) newPage() (storage.PageID, error) {
+	if n := len(t.free); n > 0 {
+		id := t.free[n-1]
+		t.free = t.free[:n-1]
+		return id, nil
+	}
+	f, err := t.pool.Create()
+	if err != nil {
+		return storage.NilPage, err
+	}
+	id := f.ID()
+	t.pool.Release(f)
+	return id, nil
+}
+
+// freePage returns a page to the allocator.
+func (t *Tree) freePage(id storage.PageID) {
+	t.free = append(t.free, id)
+}
+
+// checkEntry validates a data entry before insertion.
+func (t *Tree) checkEntry(r geom.Rect) error {
+	if r.Dim() != t.dims {
+		return fmt.Errorf("rtree: rectangle dimension %d, tree dimension %d", r.Dim(), t.dims)
+	}
+	if !r.Valid() {
+		return fmt.Errorf("rtree: invalid rectangle %v", r)
+	}
+	return nil
+}
+
+// Walk visits every node in the tree in depth-first order, passing the page
+// id and decoded node. Returning false from fn stops the walk. The walk
+// goes through the buffer pool and therefore counts as accesses; callers
+// measuring queries should reset pool stats afterwards.
+func (t *Tree) Walk(fn func(id storage.PageID, n *node.Node) bool) error {
+	if t.height == 0 {
+		return nil
+	}
+	stop := false
+	return t.walk(t.root, fn, &stop)
+}
+
+func (t *Tree) walk(id storage.PageID, fn func(storage.PageID, *node.Node) bool, stop *bool) error {
+	var n node.Node
+	if err := t.readNode(id, &n); err != nil {
+		return err
+	}
+	if !fn(id, &n) {
+		*stop = true
+		return nil
+	}
+	if n.IsLeaf() {
+		return nil
+	}
+	for _, e := range n.Entries {
+		if *stop {
+			return nil
+		}
+		if err := t.walk(storage.PageID(e.Ref), fn, stop); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bounds returns the MBR of the whole tree (the root node's MBR) and
+// whether the tree is non-empty.
+func (t *Tree) Bounds() (geom.Rect, bool, error) {
+	if t.height == 0 {
+		return geom.Rect{}, false, nil
+	}
+	var root node.Node
+	if err := t.readNode(t.root, &root); err != nil {
+		return geom.Rect{}, false, err
+	}
+	if len(root.Entries) == 0 {
+		return geom.Rect{}, false, nil
+	}
+	return root.MBR(), true, nil
+}
+
+// NumNodes counts the pages occupied by tree nodes (excluding the meta
+// page). It walks the tree.
+func (t *Tree) NumNodes() (int, error) {
+	n := 0
+	err := t.Walk(func(storage.PageID, *node.Node) bool { n++; return true })
+	return n, err
+}
+
+// Utilization returns the average leaf fill fraction: data entries
+// divided by leaf slots. Packed trees sit at ~1.0 (the paper's
+// near-100% space utilization); Guttman-loaded trees around 0.65-0.70.
+func (t *Tree) Utilization() (float64, error) {
+	if t.height == 0 {
+		return 0, nil
+	}
+	leaves := 0
+	err := t.Walk(func(_ storage.PageID, n *node.Node) bool {
+		if n.IsLeaf() {
+			leaves++
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(t.count) / float64(leaves*t.capacity), nil
+}
+
+// NodesPerLevel returns the node count at each level, root first. The
+// paper's Table 1 derives buffer percentages from these totals.
+func (t *Tree) NodesPerLevel() ([]int, error) {
+	if t.height == 0 {
+		return nil, nil
+	}
+	counts := make([]int, t.height)
+	err := t.Walk(func(_ storage.PageID, n *node.Node) bool {
+		counts[t.height-1-n.Level]++
+		return true
+	})
+	return counts, err
+}

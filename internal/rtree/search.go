@@ -1,0 +1,93 @@
+package rtree
+
+import (
+	"strtree/internal/geom"
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// Search reports every data entry whose rectangle intersects q, using the
+// paper's recursive procedure: starting at the root, retrieve all
+// rectangles stored at a node that intersect Q; recurse into the subtrees
+// of retrieved internal rectangles; report retrieved leaf rectangles.
+// Returning false from fn stops the search early.
+//
+// Every node visited costs one buffer Fetch, so after a Search the pool's
+// DiskReads delta is exactly the paper's "number of disk accesses to
+// satisfy the query".
+func (t *Tree) Search(q geom.Rect, fn func(e node.Entry) bool) error {
+	if err := t.checkEntry(q); err != nil {
+		return err
+	}
+	if t.height == 0 {
+		return nil
+	}
+	_, err := t.search(t.root, q, fn)
+	return err
+}
+
+func (t *Tree) search(id storage.PageID, q geom.Rect, fn func(node.Entry) bool) (more bool, err error) {
+	var n node.Node
+	if err := t.readNode(id, &n); err != nil {
+		return false, err
+	}
+	if n.IsLeaf() {
+		for _, e := range n.Entries {
+			if !q.Intersects(e.Rect) {
+				continue
+			}
+			if !fn(e) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, e := range n.Entries {
+		if !q.Intersects(e.Rect) {
+			continue
+		}
+		more, err := t.search(storage.PageID(e.Ref), q, fn)
+		if err != nil || !more {
+			return more, err
+		}
+	}
+	return true, nil
+}
+
+// SearchWithin reports every data entry whose rectangle is fully
+// contained in q (window containment, as opposed to Search's
+// intersection semantics). The traversal still descends by intersection:
+// a subtree whose MBR merely overlaps q can hold fully contained entries.
+func (t *Tree) SearchWithin(q geom.Rect, fn func(e node.Entry) bool) error {
+	return t.Search(q, func(e node.Entry) bool {
+		if !q.Contains(e.Rect) {
+			return true
+		}
+		return fn(e)
+	})
+}
+
+// SearchPoint reports every data entry whose rectangle contains p: the
+// paper's "point query".
+func (t *Tree) SearchPoint(p geom.Point, fn func(e node.Entry) bool) error {
+	return t.Search(geom.PointRect(p), fn)
+}
+
+// Count returns the number of data entries intersecting q.
+func (t *Tree) Count(q geom.Rect) (int, error) {
+	n := 0
+	err := t.Search(q, func(node.Entry) bool { n++; return true })
+	return n, err
+}
+
+// All collects every data entry intersecting q. For large result sets
+// prefer Search with a streaming callback.
+func (t *Tree) All(q geom.Rect) ([]node.Entry, error) {
+	var out []node.Entry
+	err := t.Search(q, func(e node.Entry) bool {
+		e.Rect = e.Rect.Clone()
+		out = append(out, e)
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,85 @@
+package rtree
+
+import (
+	"fmt"
+
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found:
+//
+//   - every path from the root has the same length (balance);
+//   - node levels decrease by exactly one per step and leaves are level 0;
+//   - every internal entry's rectangle is exactly the MBR of its child
+//     (packing and the dynamic algorithms both maintain tight MBRs);
+//   - no node except the root is empty, and no node exceeds capacity;
+//   - every page is referenced at most once (no sharing, no cycles);
+//   - the entry count matches Len().
+func (t *Tree) Validate() error {
+	if t.height == 0 {
+		if t.root != storage.NilPage {
+			return fmt.Errorf("rtree: empty tree with root page %d", t.root)
+		}
+		if t.count != 0 {
+			return fmt.Errorf("rtree: empty tree with count %d", t.count)
+		}
+		return nil
+	}
+	seen := map[storage.PageID]bool{t.metaPage: true}
+	entries, err := t.validate(t.root, t.height-1, seen)
+	if err != nil {
+		return err
+	}
+	if entries != int(t.count) {
+		return fmt.Errorf("rtree: found %d data entries, meta says %d", entries, t.count)
+	}
+	return nil
+}
+
+func (t *Tree) validate(id storage.PageID, wantLevel int, seen map[storage.PageID]bool) (int, error) {
+	if seen[id] {
+		return 0, fmt.Errorf("rtree: page %d referenced twice", id)
+	}
+	seen[id] = true
+	var n node.Node
+	if err := t.readNode(id, &n); err != nil {
+		return 0, err
+	}
+	if n.Level != wantLevel {
+		return 0, fmt.Errorf("rtree: page %d at level %d, expected %d", id, n.Level, wantLevel)
+	}
+	if n.Dims != t.dims {
+		return 0, fmt.Errorf("rtree: page %d has dims %d, tree has %d", id, n.Dims, t.dims)
+	}
+	if len(n.Entries) > t.capacity {
+		return 0, fmt.Errorf("rtree: page %d holds %d entries, capacity %d", id, len(n.Entries), t.capacity)
+	}
+	if len(n.Entries) == 0 && id != t.root {
+		return 0, fmt.Errorf("rtree: page %d is empty", id)
+	}
+	if n.IsLeaf() {
+		return len(n.Entries), nil
+	}
+	total := 0
+	for i, e := range n.Entries {
+		childID := storage.PageID(e.Ref)
+		var child node.Node
+		if err := t.readNode(childID, &child); err != nil {
+			return 0, err
+		}
+		if len(child.Entries) == 0 {
+			return 0, fmt.Errorf("rtree: page %d child %d (page %d) is empty", id, i, childID)
+		}
+		if got := child.MBR(); !got.Equal(e.Rect) {
+			return 0, fmt.Errorf("rtree: page %d entry %d rect %v != child MBR %v", id, i, e.Rect, got)
+		}
+		sub, err := t.validate(childID, wantLevel-1, seen)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+var errInjected = errors.New("injected fault")
+
+func TestFaultyPagerPassThrough(t *testing.T) {
+	f := NewFaultyPager(NewMemPager(64))
+	defer f.Close()
+	if f.PageSize() != 64 {
+		t.Fatalf("PageSize = %d", f.PageSize())
+	}
+	id, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	buf[0] = 0x42
+	if err := f.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := f.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x42 {
+		t.Fatal("pass-through corrupted data")
+	}
+	if f.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", f.NumPages())
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultyPagerInjection(t *testing.T) {
+	f := NewFaultyPager(NewMemPager(64))
+	defer f.Close()
+	if _, err := f.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+
+	f.FailReads(func(id PageID) error { return errInjected })
+	if err := f.ReadPage(0, buf); !errors.Is(err, errInjected) {
+		t.Fatalf("read fault not injected: %v", err)
+	}
+	f.FailReads(nil)
+	if err := f.ReadPage(0, buf); err != nil {
+		t.Fatalf("read fault not disarmed: %v", err)
+	}
+
+	f.FailWrites(func(id PageID) error {
+		if id == 0 {
+			return errInjected
+		}
+		return nil
+	})
+	if err := f.WritePage(0, buf); !errors.Is(err, errInjected) {
+		t.Fatalf("write fault not injected: %v", err)
+	}
+	f.FailWrites(nil)
+
+	f.FailAllocs(func() error { return errInjected })
+	if _, err := f.Alloc(); !errors.Is(err, errInjected) {
+		t.Fatalf("alloc fault not injected: %v", err)
+	}
+	f.FailAllocs(nil)
+	if _, err := f.Alloc(); err != nil {
+		t.Fatalf("alloc fault not disarmed: %v", err)
+	}
+}

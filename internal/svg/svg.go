@@ -1,0 +1,66 @@
+// Package svg is a minimal SVG writer used to render the paper's Figures
+// 2-4 (leaf-level bounding rectangles of the Long Beach data under each
+// packing algorithm) and Figures 5-6 (the CFD point cloud). It maps the
+// unit data square onto a pixel canvas with the y axis flipped so plots
+// match the paper's orientation.
+package svg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Canvas accumulates SVG elements over a unit-square viewport.
+type Canvas struct {
+	width, height int
+	margin        int
+	buf           bytes.Buffer
+}
+
+// New returns a canvas of the given pixel size with a small margin.
+func New(width, height int) *Canvas {
+	c := &Canvas{width: width, height: height, margin: 10}
+	return c
+}
+
+// x and y map unit coordinates to pixels (y flipped).
+func (c *Canvas) x(v float64) float64 {
+	return float64(c.margin) + v*float64(c.width-2*c.margin)
+}
+
+func (c *Canvas) y(v float64) float64 {
+	return float64(c.height-c.margin) - v*float64(c.height-2*c.margin)
+}
+
+// Rect draws an axis-aligned rectangle given in unit coordinates.
+func (c *Canvas) Rect(x0, y0, x1, y1 float64, stroke string, strokeWidth float64, fill string) {
+	px, py := c.x(x0), c.y(y1)
+	w, h := c.x(x1)-c.x(x0), c.y(y0)-c.y(y1)
+	fmt.Fprintf(&c.buf,
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" stroke="%s" stroke-width="%.2f" fill="%s"/>`+"\n",
+		px, py, w, h, stroke, strokeWidth, fill)
+}
+
+// Dot draws a small filled circle at unit coordinates.
+func (c *Canvas) Dot(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.buf, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n",
+		c.x(x), c.y(y), r, fill)
+}
+
+// Text places a label at unit coordinates.
+func (c *Canvas) Text(x, y float64, size int, s string) {
+	fmt.Fprintf(&c.buf, `<text x="%.2f" y="%.2f" font-size="%d" font-family="sans-serif">%s</text>`+"\n",
+		c.x(x), c.y(y), size, s)
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var out bytes.Buffer
+	fmt.Fprintf(&out, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.width, c.height, c.width, c.height)
+	fmt.Fprintf(&out, `<rect width="%d" height="%d" fill="white"/>`+"\n", c.width, c.height)
+	out.Write(c.buf.Bytes())
+	out.WriteString("</svg>\n")
+	return out.WriteTo(w)
+}

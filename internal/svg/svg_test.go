@@ -1,0 +1,63 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Canvas) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestDocumentStructure(t *testing.T) {
+	c := New(400, 300)
+	got := render(t, c)
+	if !strings.HasPrefix(got, `<svg xmlns="http://www.w3.org/2000/svg" width="400" height="300"`) {
+		t.Fatalf("bad document start: %q", got[:60])
+	}
+	if !strings.HasSuffix(strings.TrimSpace(got), "</svg>") {
+		t.Fatal("document not closed")
+	}
+}
+
+func TestRectCoordinates(t *testing.T) {
+	c := New(120, 120) // margin 10: unit square maps to [10, 110]
+	c.Rect(0, 0, 1, 1, "black", 1, "none")
+	got := render(t, c)
+	// Full unit rect: x=10, y=10 (y flipped), 100x100.
+	if !strings.Contains(got, `<rect x="10.00" y="10.00" width="100.00" height="100.00"`) {
+		t.Fatalf("rect mapping wrong: %s", got)
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	c := New(120, 120)
+	c.Dot(0, 0, 1, "black") // unit origin = bottom-left = pixel (10, 110)
+	got := render(t, c)
+	if !strings.Contains(got, `cx="10.00" cy="110.00"`) {
+		t.Fatalf("origin not at bottom-left: %s", got)
+	}
+}
+
+func TestTextAndDotEmitted(t *testing.T) {
+	c := New(200, 200)
+	c.Dot(0.5, 0.5, 2, "red")
+	c.Text(0.1, 0.9, 12, "STR")
+	got := render(t, c)
+	if !strings.Contains(got, "<circle") || !strings.Contains(got, ">STR</text>") {
+		t.Fatalf("elements missing: %s", got)
+	}
+}
+
+func TestMultipleWritesIdentical(t *testing.T) {
+	c := New(100, 100)
+	c.Rect(0.2, 0.2, 0.8, 0.8, "blue", 0.5, "none")
+	if a, b := render(t, c), render(t, c); a != b {
+		t.Fatal("WriteTo is not repeatable")
+	}
+}

@@ -1,0 +1,248 @@
+// Package wkt parses the common subset of OGC Well-Known Text geometry
+// into minimum bounding rectangles. R-trees index MBRs, not exact shapes
+// (paper Section 2.1: "arbitrary geometric objects are handled by
+// representing each object by its minimum bounding rectangle"), so the
+// bounding box is all an index loader needs from a geometry.
+//
+// Supported: POINT, MULTIPOINT, LINESTRING, MULTILINESTRING, POLYGON,
+// MULTIPOLYGON and GEOMETRYCOLLECTION, in 2-D, including EMPTY. Z/M
+// ordinates are accepted and ignored beyond the first two.
+package wkt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"strtree/internal/geom"
+)
+
+// ErrEmpty is returned for geometries with no points (e.g. "POINT EMPTY"),
+// which have no bounding rectangle.
+var ErrEmpty = fmt.Errorf("wkt: empty geometry has no bounding box")
+
+// MBR parses a WKT string and returns the 2-D minimum bounding rectangle
+// of the geometry.
+func MBR(s string) (geom.Rect, error) {
+	p := &parser{in: s}
+	box := newBox()
+	if err := p.geometry(&box); err != nil {
+		return geom.Rect{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return geom.Rect{}, fmt.Errorf("wkt: trailing input at offset %d", p.pos)
+	}
+	if !box.touched {
+		return geom.Rect{}, ErrEmpty
+	}
+	return geom.Rect{Min: geom.Pt2(box.minX, box.minY), Max: geom.Pt2(box.maxX, box.maxY)}, nil
+}
+
+// box accumulates coordinate extrema.
+type box struct {
+	minX, minY, maxX, maxY float64
+	touched                bool
+}
+
+func newBox() box {
+	inf := math.Inf(1)
+	return box{minX: inf, minY: inf, maxX: -inf, maxY: -inf}
+}
+
+func (b *box) add(x, y float64) {
+	if x < b.minX {
+		b.minX = x
+	}
+	if y < b.minY {
+		b.minY = y
+	}
+	if x > b.maxX {
+		b.maxX = x
+	}
+	if y > b.maxY {
+		b.maxY = y
+	}
+	b.touched = true
+}
+
+// parser is a recursive-descent WKT reader.
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n' || p.in[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+// word reads an uppercase identifier.
+func (p *parser) word() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return strings.ToUpper(p.in[start:p.pos])
+}
+
+// peekWord reads a word without consuming it.
+func (p *parser) peekWord() string {
+	save := p.pos
+	w := p.word()
+	p.pos = save
+	return w
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return fmt.Errorf("wkt: expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) accept(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// number reads one float.
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("wkt: expected number at offset %d", p.pos)
+	}
+	v, err := strconv.ParseFloat(p.in[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("wkt: bad number %q: %w", p.in[start:p.pos], err)
+	}
+	return v, nil
+}
+
+// geometry parses one tagged geometry into b.
+func (p *parser) geometry(b *box) error {
+	tag := p.word()
+	// Optional dimensionality suffix: Z, M, ZM.
+	switch p.peekWord() {
+	case "Z", "M", "ZM":
+		p.word()
+	}
+	if p.peekWord() == "EMPTY" {
+		p.word()
+		return nil
+	}
+	switch tag {
+	case "POINT":
+		return p.parens(func() error { return p.coord(b) })
+	case "MULTIPOINT":
+		// Both "((1 2), (3 4))" and "(1 2, 3 4)" appear in the wild.
+		return p.parens(func() error {
+			return p.commaList(func() error {
+				if p.accept('(') {
+					if err := p.coord(b); err != nil {
+						return err
+					}
+					return p.expect(')')
+				}
+				return p.coord(b)
+			})
+		})
+	case "LINESTRING":
+		return p.coordList(b)
+	case "MULTILINESTRING", "POLYGON":
+		return p.parens(func() error {
+			return p.commaList(func() error { return p.coordList(b) })
+		})
+	case "MULTIPOLYGON":
+		return p.parens(func() error {
+			return p.commaList(func() error {
+				return p.parens(func() error {
+					return p.commaList(func() error { return p.coordList(b) })
+				})
+			})
+		})
+	case "GEOMETRYCOLLECTION":
+		return p.parens(func() error {
+			return p.commaList(func() error { return p.geometry(b) })
+		})
+	case "":
+		return fmt.Errorf("wkt: missing geometry tag at offset %d", p.pos)
+	default:
+		return fmt.Errorf("wkt: unsupported geometry %q", tag)
+	}
+}
+
+// parens runs body between '(' and ')'.
+func (p *parser) parens(body func() error) error {
+	if err := p.expect('('); err != nil {
+		return err
+	}
+	if err := body(); err != nil {
+		return err
+	}
+	return p.expect(')')
+}
+
+// commaList runs body one or more times separated by commas.
+func (p *parser) commaList(body func() error) error {
+	for {
+		if err := body(); err != nil {
+			return err
+		}
+		if !p.accept(',') {
+			return nil
+		}
+	}
+}
+
+// coordList parses "(x y, x y, ...)".
+func (p *parser) coordList(b *box) error {
+	return p.parens(func() error {
+		return p.commaList(func() error { return p.coord(b) })
+	})
+}
+
+// coord parses "x y [z [m]]" and records the first two ordinates.
+func (p *parser) coord(b *box) error {
+	x, err := p.number()
+	if err != nil {
+		return err
+	}
+	y, err := p.number()
+	if err != nil {
+		return err
+	}
+	// Swallow optional Z / M ordinates.
+	for i := 0; i < 2; i++ {
+		save := p.pos
+		if _, err := p.number(); err != nil {
+			p.pos = save
+			break
+		}
+	}
+	b.add(x, y)
+	return nil
+}

@@ -1,0 +1,125 @@
+package wkt
+
+import (
+	"errors"
+	"testing"
+
+	"strtree/internal/geom"
+)
+
+func mustMBR(t *testing.T, s string) geom.Rect {
+	t.Helper()
+	r, err := MBR(s)
+	if err != nil {
+		t.Fatalf("MBR(%q): %v", s, err)
+	}
+	return r
+}
+
+func TestPoint(t *testing.T) {
+	if got := mustMBR(t, "POINT (3 4)"); !got.Equal(geom.R2(3, 4, 3, 4)) {
+		t.Fatalf("got %v", got)
+	}
+	// Case-insensitive, flexible whitespace, negative and scientific.
+	if got := mustMBR(t, "point(-1.5e1   2.25)"); !got.Equal(geom.R2(-15, 2.25, -15, 2.25)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPointZAndM(t *testing.T) {
+	if got := mustMBR(t, "POINT Z (1 2 3)"); !got.Equal(geom.R2(1, 2, 1, 2)) {
+		t.Fatalf("Z got %v", got)
+	}
+	if got := mustMBR(t, "POINT ZM (1 2 3 4)"); !got.Equal(geom.R2(1, 2, 1, 2)) {
+		t.Fatalf("ZM got %v", got)
+	}
+}
+
+func TestLineString(t *testing.T) {
+	got := mustMBR(t, "LINESTRING (0 0, 10 5, 3 -2)")
+	if !got.Equal(geom.R2(0, -2, 10, 5)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMultiPointBothForms(t *testing.T) {
+	a := mustMBR(t, "MULTIPOINT ((1 1), (5 9))")
+	b := mustMBR(t, "MULTIPOINT (1 1, 5 9)")
+	want := geom.R2(1, 1, 5, 9)
+	if !a.Equal(want) || !b.Equal(want) {
+		t.Fatalf("got %v and %v", a, b)
+	}
+}
+
+func TestPolygonWithHole(t *testing.T) {
+	got := mustMBR(t, "POLYGON ((0 0, 8 0, 8 6, 0 6, 0 0), (2 2, 3 2, 3 3, 2 3, 2 2))")
+	if !got.Equal(geom.R2(0, 0, 8, 6)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMultiLineStringAndMultiPolygon(t *testing.T) {
+	got := mustMBR(t, "MULTILINESTRING ((0 0, 1 1), (5 5, 6 7))")
+	if !got.Equal(geom.R2(0, 0, 6, 7)) {
+		t.Fatalf("mls got %v", got)
+	}
+	got = mustMBR(t, "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 0)), ((10 10, 12 10, 12 13, 10 10)))")
+	if !got.Equal(geom.R2(0, 0, 12, 13)) {
+		t.Fatalf("mp got %v", got)
+	}
+}
+
+func TestGeometryCollection(t *testing.T) {
+	got := mustMBR(t, "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 5 5), POLYGON ((-1 -1, 3 -1, 3 3, -1 -1)))")
+	if !got.Equal(geom.R2(-1, -1, 5, 5)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEmptyGeometries(t *testing.T) {
+	for _, s := range []string{"POINT EMPTY", "LINESTRING EMPTY", "POLYGON EMPTY", "GEOMETRYCOLLECTION EMPTY"} {
+		if _, err := MBR(s); !errors.Is(err, ErrEmpty) {
+			t.Errorf("MBR(%q): %v, want ErrEmpty", s, err)
+		}
+	}
+	// Collections with one empty member still use the others.
+	got := mustMBR(t, "GEOMETRYCOLLECTION (POINT EMPTY, POINT (2 3))")
+	if !got.Equal(geom.R2(2, 3, 2, 3)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"CIRCLE (1 2, 3)",
+		"POINT 1 2",
+		"POINT (1)",
+		"POINT (1 2",
+		"POINT (a b)",
+		"LINESTRING ((0 0, 1 1))x",
+		"POINT (1 2) garbage",
+		"LINESTRING (0 0 , )",
+	}
+	for _, s := range cases {
+		if _, err := MBR(s); err == nil {
+			t.Errorf("MBR(%q) succeeded", s)
+		}
+	}
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	got := mustMBR(t, "  \tLINESTRING\n( 0  0 ,\r\n 2 3 )  ")
+	if !got.Equal(geom.R2(0, 0, 2, 3)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func BenchmarkMBRPolygon(b *testing.B) {
+	s := "POLYGON ((0 0, 8 0, 8 6, 0 6, 0 0), (2 2, 3 2, 3 3, 2 3, 2 2))"
+	for i := 0; i < b.N; i++ {
+		if _, err := MBR(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

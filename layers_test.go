@@ -1,0 +1,207 @@
+package strtree
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLayersInMemory(t *testing.T) {
+	ls, err := NewLayers(Options{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parcels, err := ls.Create("parcels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roads, err := ls.Create("roads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parcels.BulkLoad(randItems(300, 81), PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range randItems(200, 82) {
+		if err := roads.Insert(it.Rect, it.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if parcels.Len() != 300 || roads.Len() != 200 {
+		t.Fatalf("lens %d / %d", parcels.Len(), roads.Len())
+	}
+	if err := parcels.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := roads.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-layer join works on the shared storage.
+	pairs := 0
+	if err := Join(parcels, roads, func(a, b Item) bool { pairs++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if pairs == 0 {
+		t.Fatal("no cross-layer pairs on overlapping random data")
+	}
+	got := ls.Names()
+	if len(got) != 2 || got[0] != "parcels" || got[1] != "roads" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestLayersPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "layers.str")
+	ls, err := CreateLayers(path, Options{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ls.Create("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ls.Create("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemsA := randItems(250, 83)
+	itemsB := randItems(100, 84)
+	if err := a.BulkLoad(itemsA, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BulkLoad(itemsB, PackHilbert); err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := a.Count(R2(0.2, 0.2, 0.7, 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenLayers(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if names := re.Names(); len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("reopened names = %v", names)
+	}
+	ra, err := re.Open("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Len() != 250 {
+		t.Fatalf("alpha len = %d", ra.Len())
+	}
+	if err := ra.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ra.Count(R2(0.2, 0.2, 0.7, 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantA {
+		t.Fatalf("count after reopen = %d, want %d", got, wantA)
+	}
+	rb, err := re.Open("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Len() != 100 {
+		t.Fatalf("beta len = %d", rb.Len())
+	}
+	// Repeated Open returns the same handle.
+	rb2, err := re.Open("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb2 != rb {
+		t.Fatal("Open created a second handle")
+	}
+}
+
+func TestLayersErrors(t *testing.T) {
+	ls, err := NewLayers(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Create(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := ls.Create(strings.Repeat("x", 40)); err == nil {
+		t.Error("overlong name accepted")
+	}
+	if _, err := ls.Create("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Create("dup"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := ls.Open("missing"); !errors.Is(err, ErrNoLayer) {
+		t.Errorf("open missing: %v", err)
+	}
+	// Opening a non-layer file fails cleanly.
+	path := filepath.Join(t.TempDir(), "plain.str")
+	tree, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLayers(path, Options{}); err == nil {
+		t.Error("plain index opened as layer set")
+	}
+}
+
+func TestLayerCloseDoesNotKillSiblings(t *testing.T) {
+	ls, err := NewLayers(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ls.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ls.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert(R2(0, 0, 0.1, 0.1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Layer b keeps working after a's Close.
+	if err := b.Insert(R2(0.5, 0.5, 0.6, 0.6), 2); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := b.Count(R2(0, 0, 1, 1)); err != nil || n != 1 {
+		t.Fatalf("b count %d err %v", n, err)
+	}
+}
+
+func TestLayersSharedStats(t *testing.T) {
+	ls, err := NewLayers(Options{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ls.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BulkLoad(randItems(1000, 85), PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	ls.ResetStats()
+	if _, err := a.Count(R2(0.4, 0.4, 0.6, 0.6)); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Stats().LogicalReads == 0 {
+		t.Fatal("layer reads not visible in set stats")
+	}
+}

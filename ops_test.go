@@ -1,0 +1,253 @@
+package strtree
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNearestPublic(t *testing.T) {
+	tree, err := New(Options{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := randItems(800, 21)
+	if err := tree.BulkLoad(items, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	p := Pt2(0.5, 0.5)
+	got, dists, err := tree.NearestK(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || len(dists) != 5 {
+		t.Fatalf("NearestK returned %d items, %d dists", len(got), len(dists))
+	}
+	for i := 1; i < 5; i++ {
+		if dists[i] < dists[i-1] {
+			t.Fatalf("distances unsorted: %v", dists)
+		}
+	}
+	// Streaming form stops on demand.
+	n := 0
+	if err := tree.Nearest(p, func(Item, float64) bool { n++; return n < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("streaming nearest visited %d", n)
+	}
+}
+
+func TestJoinPublic(t *testing.T) {
+	build := func(seed int64, n int) (*Tree, []Item) {
+		tree, err := New(Options{Capacity: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := randItems(n, seed)
+		if err := tree.BulkLoad(items, PackSTR); err != nil {
+			t.Fatal(err)
+		}
+		return tree, items
+	}
+	ta, ia := build(22, 300)
+	tb, ib := build(23, 250)
+	want := 0
+	for _, a := range ia {
+		for _, b := range ib {
+			if a.Rect.Intersects(b.Rect) {
+				want++
+			}
+		}
+	}
+	got := 0
+	if err := Join(ta, tb, func(a, b Item) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("join pairs = %d, want %d", got, want)
+	}
+}
+
+func TestJoinWithinPublic(t *testing.T) {
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert(R2(0.1, 0.1, 0.2, 0.2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(R2(0.3, 0.1, 0.4, 0.2), 2); err != nil { // 0.1 away in x
+		t.Fatal(err)
+	}
+	count := func(dist float64) int {
+		n := 0
+		if err := JoinWithin(a, b, dist, func(Item, Item) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if count(0.05) != 0 {
+		t.Fatal("pair 0.1 apart matched at dist 0.05")
+	}
+	if count(0.15) != 1 {
+		t.Fatal("pair 0.1 apart missed at dist 0.15")
+	}
+	if count(0) != 0 {
+		t.Fatal("non-intersecting pair matched at dist 0")
+	}
+}
+
+func TestSelfJoinDistinctPairs(t *testing.T) {
+	tree, err := New(Options{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := randItems(200, 24)
+	if err := tree.BulkLoad(items, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			if items[i].Rect.Intersects(items[j].Rect) {
+				want++
+			}
+		}
+	}
+	got := 0
+	if err := Join(tree, tree, func(a, b Item) bool {
+		if a.ID < b.ID {
+			got++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("self-join distinct pairs = %d, want %d", got, want)
+	}
+}
+
+func TestScanAndItems(t *testing.T) {
+	tree, err := New(Options{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := randItems(300, 25)
+	if err := tree.BulkLoad(items, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	if err := tree.Scan(func(it Item) bool { seen[it.ID] = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 300 {
+		t.Fatalf("scan saw %d items", len(seen))
+	}
+	all, err := tree.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 300 {
+		t.Fatalf("Items returned %d", len(all))
+	}
+}
+
+func TestCompactIntoPublic(t *testing.T) {
+	src, err := New(Options{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := randItems(1000, 26)
+	for _, it := range items {
+		if err := src.Insert(it.Rect, it.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items[:500] {
+		if _, err := src.Delete(it.Rect, it.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcM, err := src.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(Options{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CompactInto(dst, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 500 {
+		t.Fatalf("compacted len = %d", dst.Len())
+	}
+	dstM, err := dst.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dstM.LeafNodes >= srcM.LeafNodes {
+		t.Fatalf("compaction grew leaves: %d -> %d", srcM.LeafNodes, dstM.LeafNodes)
+	}
+	if err := dst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown packing propagates.
+	empty, _ := New(Options{})
+	if err := src.CompactInto(empty, Packing(77)); err == nil {
+		t.Fatal("bad packing accepted")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tree, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tree.Bounds(); err != nil || ok {
+		t.Fatalf("empty tree bounds: ok=%v err=%v", ok, err)
+	}
+	if err := tree.Insert(R2(0.2, 0.3, 0.4, 0.5), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(R2(0.7, 0.1, 0.9, 0.2), 2); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := tree.Bounds()
+	if err != nil || !ok {
+		t.Fatalf("bounds: ok=%v err=%v", ok, err)
+	}
+	if !b.Equal(R2(0.2, 0.1, 0.9, 0.5)) {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+func TestNearestDistanceValues(t *testing.T) {
+	tree, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(R2(0.2, 0.2, 0.3, 0.3), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(R2(0.8, 0.8, 0.9, 0.9), 2); err != nil {
+		t.Fatal(err)
+	}
+	items, dists, err := tree.NearestK(Pt2(0.25, 0.25), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].ID != 1 || dists[0] != 0 {
+		t.Fatalf("first hit = %+v at %g", items[0], dists[0])
+	}
+	wantD := math.Hypot(0.8-0.25, 0.8-0.25)
+	if items[1].ID != 2 || math.Abs(dists[1]-wantD) > 1e-12 {
+		t.Fatalf("second hit = %+v at %g, want %g", items[1], dists[1], wantD)
+	}
+}

@@ -1,0 +1,131 @@
+package strtree
+
+import "sync"
+
+// SafeTree wraps a Tree with a readers-writer lock so one writer and many
+// readers can share it from multiple goroutines. Reads (Search, Nearest,
+// Count, ...) take the read lock; mutations take the write lock. For
+// read-heavy workloads where even read-lock contention matters, prefer
+// per-goroutine read-only Views.
+//
+// Note that the buffer pool beneath a SafeTree is shared, so concurrent
+// readers contend on its mutex too; the lock here adds correctness for
+// mixed read/write use, not parallel speed-up.
+type SafeTree struct {
+	mu   sync.RWMutex
+	tree *Tree
+}
+
+// NewSafe wraps an existing tree. The caller must stop using the inner
+// tree directly.
+func NewSafe(tree *Tree) *SafeTree { return &SafeTree{tree: tree} }
+
+// BulkLoad locks out all access and bulk-loads the tree.
+func (s *SafeTree) BulkLoad(items []Item, p Packing) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.BulkLoad(items, p)
+}
+
+// Insert adds one item under the write lock.
+func (s *SafeTree) Insert(r Rect, id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Insert(r, id)
+}
+
+// Delete removes one item under the write lock.
+func (s *SafeTree) Delete(r Rect, id uint64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Delete(r, id)
+}
+
+// Search streams intersecting items under the read lock. The callback
+// must not call mutating methods on the same SafeTree (it would deadlock).
+func (s *SafeTree) Search(q Rect, fn func(Item) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Search(q, fn)
+}
+
+// SearchWithin streams contained items under the read lock.
+func (s *SafeTree) SearchWithin(q Rect, fn func(Item) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.SearchWithin(q, fn)
+}
+
+// SearchPoint streams items containing p under the read lock.
+func (s *SafeTree) SearchPoint(p Point, fn func(Item) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.SearchPoint(p, fn)
+}
+
+// Count counts intersecting items under the read lock.
+func (s *SafeTree) Count(q Rect) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Count(q)
+}
+
+// All collects intersecting items under the read lock.
+func (s *SafeTree) All(q Rect) ([]Item, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.All(q)
+}
+
+// Nearest streams items by distance under the read lock.
+func (s *SafeTree) Nearest(p Point, fn func(Item, float64) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Nearest(p, fn)
+}
+
+// NearestK returns the k nearest items under the read lock.
+func (s *SafeTree) NearestK(p Point, k int) ([]Item, []float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.NearestK(p, k)
+}
+
+// Len returns the item count under the read lock.
+func (s *SafeTree) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Len()
+}
+
+// Height returns the level count under the read lock.
+func (s *SafeTree) Height() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Height()
+}
+
+// Flush writes dirty state under the write lock.
+func (s *SafeTree) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Flush()
+}
+
+// Validate checks invariants under the read lock.
+func (s *SafeTree) Validate() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Validate()
+}
+
+// Close closes the underlying tree under the write lock.
+func (s *SafeTree) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Close()
+}
+
+// Unwrap returns the inner tree for operations SafeTree does not expose.
+// The caller is responsible for synchronization while using it.
+func (s *SafeTree) Unwrap() *Tree { return s.tree }
