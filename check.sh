@@ -1,0 +1,41 @@
+#!/bin/sh
+# check.sh — the repository's extended tier-1 gate (see ROADMAP.md).
+# Everything here must pass before a change lands:
+#
+#   1. gofmt          every .go file is formatted
+#   2. go vet         the standard analyzer suite
+#   3. go build       the whole module compiles
+#   4. strlint        the repo's own static analyzer (internal/lint):
+#                     float ==, dropped storage errors, library panics,
+#                     loop-variable capture, cross-layer imports
+#   5. go test        the full test suite (includes the invariant
+#                     verifier's corrupted-tree fixtures and the fuzz
+#                     seed corpora)
+#   6. go test -race  the concurrency-sensitive packages
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== strlint"
+go run ./cmd/strlint ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (buffer, pack)"
+go test -race ./internal/buffer/... ./internal/pack/...
+
+echo "All checks passed."

@@ -1,0 +1,154 @@
+// Command strlint runs the repository's custom static analyzer (package
+// internal/lint) over the module: float equality comparisons, dropped
+// errors from the storage/buffer/binary layers, library panics, loop
+// variable capture and cross-layer imports.
+//
+// Usage:
+//
+//	strlint [-checks floateq,droppederr,...] [packages]
+//
+// Packages are module-relative paths or Go-style patterns: "./...", ".",
+// "./internal/geom", "internal/geom". With no arguments, the whole module
+// is checked. Exit status is 1 when findings are reported, 2 on usage or
+// load errors.
+//
+// Findings are suppressed with an in-source directive on the same or the
+// preceding line:
+//
+//	//strlint:ignore <check>[,<check>...] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"strtree/internal/lint"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	listFlag := flag.Bool("list", false, "list available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: strlint [-checks c1,c2] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, c := range lint.AllChecks {
+			fmt.Println(c)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fail(err)
+	}
+	a, err := lint.Load(root)
+	if err != nil {
+		fail(err)
+	}
+
+	var checks []string
+	if *checksFlag != "" {
+		checks = strings.Split(*checksFlag, ",")
+	}
+	pkgs, err := resolvePatterns(a, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	findings, err := a.Run(pkgs, checks)
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "strlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "strlint: %v\n", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns maps command-line package patterns onto loaded package
+// paths. Supported forms: "./...", "all", ".", "dir/...", "./dir", "dir".
+func resolvePatterns(a *lint.Analyzer, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, nil // all packages
+	}
+	known := a.Packages()
+	var out []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		norm := strings.TrimPrefix(filepath.ToSlash(arg), "./")
+		switch {
+		case norm == "..." || norm == "all":
+			return nil, nil
+		case strings.HasSuffix(norm, "/..."):
+			prefix := strings.TrimSuffix(norm, "/...")
+			matched := false
+			for _, p := range known {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %q matches no packages", arg)
+			}
+		default:
+			if norm == "." {
+				norm = ""
+			}
+			found := false
+			for _, p := range known {
+				if p == norm {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("package %q not found in module", arg)
+			}
+			add(norm)
+		}
+	}
+	return out, nil
+}

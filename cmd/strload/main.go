@@ -63,6 +63,7 @@ func runBuild(args []string) error {
 	capacity := fs.Int("cap", 100, "node capacity (entries per page)")
 	external := fs.Bool("external", false, "bounded-memory STR build (for inputs larger than RAM; STR only)")
 	runSize := fs.Int("runsize", 1<<20, "max items in memory during an -external build")
+	verify := fs.Bool("verify", false, "after building, re-walk the index and check every structural invariant (balance, MBR tightness, packed fill, page round-trips)")
 	fs.Parse(args)
 	inputs := 0
 	for _, s := range []string{*in, *wktIn, *geojsonIn} {
@@ -131,12 +132,22 @@ func runBuild(args []string) error {
 			return err
 		}
 	}
+	if *verify {
+		if err := tree.CheckPackedInvariants(); err != nil {
+			tree.Close()
+			return fmt.Errorf("build: verification failed: %w", err)
+		}
+	}
 	h := tree.Height()
 	n := tree.Len()
 	if err := tree.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("built %s: %d items, height %d, packing %s\n", *out, n, h, packing)
+	fmt.Printf("built %s: %d items, height %d, packing %s", *out, n, h, packing)
+	if *verify {
+		fmt.Print(", invariants verified")
+	}
+	fmt.Println()
 	return nil
 }
 
@@ -177,12 +188,19 @@ func runQuery(args []string) error {
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	idx := fs.String("idx", "index.str", "index file")
+	verify := fs.Bool("verify", false, "also re-walk the index and check the universal structural invariants (an index mutated since its build may legitimately fail the packed fill factor, so that check is skipped here)")
 	fs.Parse(args)
 	tree, err := strtree.Open(*idx, strtree.Options{})
 	if err != nil {
 		return err
 	}
 	defer tree.Close()
+	if *verify {
+		if err := tree.CheckInvariants(); err != nil {
+			return fmt.Errorf("stats: verification failed: %w", err)
+		}
+		fmt.Println("invariants:      ok")
+	}
 	m, err := tree.Metrics()
 	if err != nil {
 		return err

@@ -113,6 +113,23 @@ func TestBuildQueryStatsEndToEnd(t *testing.T) {
 	}
 }
 
+func TestBuildVerifyFlag(t *testing.T) {
+	var rows strings.Builder
+	for i := 0; i < 300; i++ {
+		x := float64(i%20) / 20
+		y := float64(i/20) / 20
+		fmt.Fprintf(&rows, "%g,%g,%g,%g,%d\n", x, y, x+0.01, y+0.01, i)
+	}
+	csvPath := writeCSV(t, rows.String())
+	idx := filepath.Join(t.TempDir(), "verified.str")
+	if err := runBuild([]string{"-in", csvPath, "-out", idx, "-cap", "8", "-verify"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStats([]string{"-idx", idx, "-verify"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReadWKTItems(t *testing.T) {
 	path := writeCSV(t, "# comment\nPOINT (1 2)\n\n7\tLINESTRING (0 0, 4 4)\nPOLYGON ((0 0, 2 0, 2 2, 0 0))\n")
 	items, err := readWKTItems(path)

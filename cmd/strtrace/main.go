@@ -65,6 +65,7 @@ func runRecord(args []string) error {
 	if err != nil {
 		return err
 	}
+	//strlint:ignore droppederr read-only pager: a close error after queries cannot lose data
 	defer pg.Close()
 	pool := buffer.NewPool(pg, 8)
 	tree, err := rtree.Open(pool)

@@ -41,6 +41,10 @@ func TestBulkLoadExternalMatchesInMemory(t *testing.T) {
 	if err := ext.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	// The bounded-memory path must produce the same packed structure.
+	if err := ext.CheckPackedInvariants(); err != nil {
+		t.Fatal(err)
+	}
 	// Same structure quality: leaf metrics match the in-memory build.
 	a, err := inMem.Metrics()
 	if err != nil {

@@ -121,6 +121,7 @@ func NewPool(pager storage.Pager, capacity int) *Pool {
 // NewPoolWithPolicy creates a pool using the given replacement policy.
 func NewPoolWithPolicy(pager storage.Pager, capacity int, policy Policy) *Pool {
 	if capacity < 1 {
+		//strlint:ignore panics documented contract: a pool with no frames is a programming error
 		panic(fmt.Sprintf("buffer: capacity %d < 1", capacity))
 	}
 	p := &Pool{
@@ -210,6 +211,7 @@ func (p *Pool) Release(f *Frame) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if f.pins <= 0 {
+		//strlint:ignore panics documented contract: releasing an unpinned frame is a double-release bug in the caller
 		panic(fmt.Sprintf("buffer: release of unpinned page %d", f.id))
 	}
 	f.pins--

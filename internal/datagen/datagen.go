@@ -304,6 +304,7 @@ func Normalize(entries []node.Entry) []node.Entry {
 	for i := range entries {
 		r := &entries[i].Rect
 		for d := 0; d < dims; d++ {
+			//strlint:ignore floateq hi and lo are min/max of the same values, so equality exactly detects a degenerate axis
 			if hi[d] == lo[d] {
 				r.Min[d], r.Max[d] = 0.5, 0.5
 				continue

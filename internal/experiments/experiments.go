@@ -199,6 +199,7 @@ var registry = map[string]Runner{}
 // Register adds an experiment to the registry; it panics on duplicates.
 func Register(id string, r Runner) {
 	if _, dup := registry[id]; dup {
+		//strlint:ignore panics init-time registry misuse must fail loudly at startup
 		panic("experiments: duplicate id " + id)
 	}
 	registry[id] = r
@@ -298,6 +299,7 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
 // ratio formats v/base, guarding the divide.
 func ratio(v, base float64) string {
+	//strlint:ignore floateq exact zero sentinel guards the division
 	if base == 0 {
 		return "-"
 	}

@@ -261,6 +261,7 @@ func syntheticFigure(cfg Config, id string, qc queryClass, paperBuf int) (*Table
 }
 
 func scaleNote(cfg Config) string {
+	//strlint:ignore floateq Scale is assigned from exact literals; 1 means an unscaled paper run
 	if cfg.Scale == 1 {
 		return fmt.Sprintf("paper-scale run, %d queries", cfg.Queries)
 	}

@@ -30,6 +30,7 @@ func (p Point) Equal(q Point) bool {
 		return false
 	}
 	for i := range p {
+		//strlint:ignore floateq exact coordinate equality is the contract: MBR tightness and page round-trips are bit-exact
 		if p[i] != q[i] {
 			return false
 		}
@@ -70,6 +71,7 @@ type Rect struct {
 // y0 > y1; use NewRect for checked construction.
 func R2(x0, y0, x1, y1 float64) Rect {
 	if x0 > x1 || y0 > y1 {
+		//strlint:ignore panics documented contract: R2 panics on inverted input, NewRect is the checked constructor
 		panic(fmt.Sprintf("geom: inverted rectangle [%g,%g]x[%g,%g]", x0, x1, y0, y1))
 	}
 	return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}
@@ -279,6 +281,7 @@ func (r Rect) Expand(d float64) Rect {
 // rectangles. It panics on an empty input because an empty set has no MBR.
 func MBR(rects []Rect) Rect {
 	if len(rects) == 0 {
+		//strlint:ignore panics documented contract: an empty set has no MBR
 		panic("geom: MBR of empty set")
 	}
 	m := rects[0].Clone()

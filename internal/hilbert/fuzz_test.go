@@ -1,0 +1,48 @@
+package hilbert
+
+import "testing"
+
+// FuzzHilbertMonotone pins the consistency contract between the package's
+// two curve implementations, which HS packing depends on: the bitwise
+// Compare2D (the paper's "examine bits until the subquadrants diverge"
+// procedure) must order any two cells exactly as their materialized curve
+// indices do, must be antisymmetric, and Coords must invert Index. The
+// committed corpus under testdata/fuzz/FuzzHilbertMonotone seeds the
+// boundaries: order 1, the 31-bit maximum, equal points, adjacent cells,
+// and the corners of the grid.
+func FuzzHilbertMonotone(f *testing.F) {
+	f.Add(uint8(4), uint32(3), uint32(5), uint32(5), uint32(3))
+	f.Add(uint8(0), uint32(0), uint32(0), uint32(1), uint32(1))
+	f.Fuzz(func(t *testing.T, ord uint8, ax, ay, bx, by uint32) {
+		order := int(ord)%MaxOrder2D + 1 // 1..31, so Index2D stays computable
+		mask := uint32(1)<<uint(order) - 1
+		ax, ay, bx, by = ax&mask, ay&mask, bx&mask, by&mask
+
+		ia := Index2D(order, ax, ay)
+		ib := Index2D(order, bx, by)
+		want := 0
+		switch {
+		case ia < ib:
+			want = -1
+		case ia > ib:
+			want = 1
+		}
+		got := Compare2D(order, uint64(ax), uint64(ay), uint64(bx), uint64(by))
+		if got != want {
+			t.Fatalf("order %d: Compare2D((%d,%d),(%d,%d)) = %d, indices %d vs %d want %d",
+				order, ax, ay, bx, by, got, ia, ib, want)
+		}
+		if rev := Compare2D(order, uint64(bx), uint64(by), uint64(ax), uint64(ay)); rev != -got {
+			t.Fatalf("order %d: Compare2D is not antisymmetric: %d then %d", order, got, rev)
+		}
+		// A curve index identifies exactly one cell.
+		if got == 0 && (ax != bx || ay != by) {
+			t.Fatalf("order %d: distinct cells (%d,%d) and (%d,%d) compare equal", order, ax, ay, bx, by)
+		}
+		// Coords inverts Index: the paper's curve is a bijection on the grid.
+		c := Coords(order, ia, 2)
+		if c[0] != ax || c[1] != ay {
+			t.Fatalf("order %d: Coords(Index(%d,%d)) = (%d,%d)", order, ax, ay, c[0], c[1])
+		}
+	})
+}

@@ -39,6 +39,7 @@ func Index(order int, coords []uint32) uint64 {
 	copy(x, coords)
 	for i, c := range x {
 		if order < 32 && c >= 1<<uint(order) {
+			//strlint:ignore panics documented contract: callers construct coordinates through Mapper, which guarantees the range
 			panic(fmt.Sprintf("hilbert: coordinate %d = %d out of range for order %d", i, c, order))
 		}
 	}
@@ -57,6 +58,7 @@ func Coords(order int, index uint64, dims int) []uint32 {
 
 func checkOrder(order, dims int) {
 	if order <= 0 || dims <= 0 || order*dims > 64 {
+		//strlint:ignore panics documented contract: Index and Coords panic on orders that overflow a uint64 index
 		panic(fmt.Sprintf("hilbert: invalid order %d for %d dimensions", order, dims))
 	}
 }
@@ -162,6 +164,7 @@ func Index2D(order int, x, y uint32) uint64 {
 // paper's exponent+mantissa construction realized.
 func Compare2D(order int, ax, ay, bx, by uint64) int {
 	if order <= 0 || order > 63 {
+		//strlint:ignore panics documented contract: a compare order outside 1..63 is a programming error
 		panic(fmt.Sprintf("hilbert: invalid 2-D compare order %d", order))
 	}
 	// Walk quadrants from the top. Both points share the same rotation
@@ -270,6 +273,7 @@ func (m *Mapper) CellInto(p []float64, out []uint32) {
 	for i := range m.min {
 		v := (p[i] - m.min[i]) * m.scale[i]
 		switch {
+		//strlint:ignore floateq scale is exactly 0 for degenerate axes by construction
 		case v <= 0 || m.scale[i] == 0:
 			out[i] = 0
 		case uint64(v) >= maxCell:

@@ -1,0 +1,233 @@
+// Package invariant is a runtime structural verifier for packed R-trees:
+// it walks a tree page by page and asserts the properties the STR paper's
+// correctness argument rests on, failing with a descriptive error at the
+// first violation.
+//
+// The checks, and where the paper claims them:
+//
+//   - Balance: every path from the root has the same length, node levels
+//     decrease by exactly one per step, and leaves are level 0 (R-trees
+//     are "height-balanced", Section 1).
+//   - Tight MBRs: every internal entry's rectangle is exactly the minimum
+//     bounding rectangle of its child node — not merely containing it
+//     (Figure 1's structure; a shrunken MBR loses query results, a loose
+//     one costs extra disk accesses).
+//   - Fill bounds: no node exceeds the capacity n and no non-root node is
+//     empty ("Each R-Tree node contains at most n entries", Section 2.1).
+//   - Packed fill (optional, Config.Packed): a bulk-loaded tree fills
+//     every node to exactly n entries except the last node of each level
+//     — ceil(p/n) nodes per level — which is what gives packing its
+//     near-100% space utilization (Section 2.2, "General Algorithm").
+//   - Page round-trip (optional, Config.RoundTrip): re-serializing each
+//     decoded node reproduces the stored page byte for byte, so what the
+//     verifier saw is exactly what is on disk ("one node per page",
+//     Section 2.1).
+//   - Accounting: no page is referenced twice, and the number of data
+//     entries found equals the tree's recorded count.
+package invariant
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"strtree/internal/node"
+	"strtree/internal/rtree"
+	"strtree/internal/storage"
+)
+
+// Sentinel errors, one per invariant class; every returned error wraps
+// exactly one of these and adds page-level detail.
+var (
+	// ErrUnbalanced reports a node at the wrong level: unequal root-leaf
+	// path lengths or levels not decreasing by one.
+	ErrUnbalanced = errors.New("invariant: unbalanced tree")
+	// ErrShrunkenMBR reports an internal entry whose rectangle fails to
+	// contain its child's MBR: the subtree leaks out of its advertised
+	// bounds and queries silently lose results.
+	ErrShrunkenMBR = errors.New("invariant: entry MBR does not contain child MBR")
+	// ErrLooseMBR reports an internal entry whose rectangle contains but
+	// does not equal its child's MBR: correct results, wasted disk reads.
+	ErrLooseMBR = errors.New("invariant: entry MBR not tight around child MBR")
+	// ErrOverfullNode reports a node holding more than capacity entries.
+	ErrOverfullNode = errors.New("invariant: node exceeds capacity")
+	// ErrEmptyNode reports an empty non-root node.
+	ErrEmptyNode = errors.New("invariant: empty non-root node")
+	// ErrPackedFill reports a bulk-loaded level that is not packed to
+	// capacity (only the last node of a level may be short).
+	ErrPackedFill = errors.New("invariant: packed fill violated")
+	// ErrPageRoundTrip reports a node whose re-serialization differs from
+	// the stored page bytes.
+	ErrPageRoundTrip = errors.New("invariant: page round-trip mismatch")
+	// ErrPageShared reports a page referenced from two places.
+	ErrPageShared = errors.New("invariant: page referenced twice")
+	// ErrCount reports a mismatch between data entries found and the
+	// tree's recorded count.
+	ErrCount = errors.New("invariant: entry count mismatch")
+	// ErrDims reports a node whose dimensionality differs from the tree's.
+	ErrDims = errors.New("invariant: dimensionality mismatch")
+)
+
+// Config selects the optional strict checks.
+type Config struct {
+	// Packed additionally asserts the STR packing fill factor: every node
+	// except the last of each level holds exactly capacity entries. True
+	// for freshly bulk-loaded trees (any packing algorithm); false for
+	// trees mutated by Insert/Delete.
+	Packed bool
+	// RoundTrip additionally re-serializes every node and compares it
+	// against the stored page bytes.
+	RoundTrip bool
+}
+
+// Check walks the whole tree and returns the first invariant violation,
+// or nil. It reads every page through the tree's buffer pool, so callers
+// measuring I/O should reset pool stats afterwards.
+func Check(t *rtree.Tree, cfg Config) error {
+	if t.Height() == 0 {
+		if t.Len() != 0 {
+			return fmt.Errorf("%w: empty tree with count %d", ErrCount, t.Len())
+		}
+		return nil
+	}
+	c := &checker{
+		tree: t,
+		cfg:  cfg,
+		seen: map[storage.PageID]bool{t.MetaPage(): true},
+		// nodes/entries per level, indexed by node.Level (0 = leaf).
+		nodes:   make([]int, t.Height()),
+		entries: make([]int, t.Height()),
+	}
+	if cfg.RoundTrip {
+		c.scratch = make([]byte, t.Pool().Pager().PageSize())
+	}
+	found, err := c.walk(t.Root(), t.Height()-1)
+	if err != nil {
+		return err
+	}
+	if found != t.Len() {
+		return fmt.Errorf("%w: found %d data entries, meta records %d", ErrCount, found, t.Len())
+	}
+	if cfg.Packed {
+		if err := c.checkPackedFill(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	tree    *rtree.Tree
+	cfg     Config
+	seen    map[storage.PageID]bool
+	nodes   []int
+	entries []int
+	scratch []byte
+}
+
+// walk verifies the subtree rooted at id, which must sit at wantLevel, and
+// returns the number of data entries beneath it.
+func (c *checker) walk(id storage.PageID, wantLevel int) (int, error) {
+	if c.seen[id] {
+		return 0, fmt.Errorf("%w: page %d", ErrPageShared, id)
+	}
+	c.seen[id] = true
+	var n node.Node
+	raw, err := c.readPage(id, &n)
+	if err != nil {
+		return 0, err
+	}
+	if n.Level != wantLevel {
+		return 0, fmt.Errorf("%w: page %d at level %d, expected level %d", ErrUnbalanced, id, n.Level, wantLevel)
+	}
+	if n.Dims != c.tree.Dims() {
+		return 0, fmt.Errorf("%w: page %d has %d dims, tree has %d", ErrDims, id, n.Dims, c.tree.Dims())
+	}
+	if len(n.Entries) > c.tree.Capacity() {
+		return 0, fmt.Errorf("%w: page %d holds %d entries, capacity is %d",
+			ErrOverfullNode, id, len(n.Entries), c.tree.Capacity())
+	}
+	if len(n.Entries) == 0 && id != c.tree.Root() {
+		return 0, fmt.Errorf("%w: page %d", ErrEmptyNode, id)
+	}
+	if c.cfg.RoundTrip && raw != nil {
+		if err := node.Marshal(&n, c.scratch); err != nil {
+			return 0, fmt.Errorf("%w: page %d: %v", ErrPageRoundTrip, id, err)
+		}
+		if !bytes.Equal(raw, c.scratch) {
+			return 0, fmt.Errorf("%w: page %d re-serializes differently", ErrPageRoundTrip, id)
+		}
+	}
+	c.nodes[n.Level]++
+	c.entries[n.Level] += len(n.Entries)
+	if n.IsLeaf() {
+		return len(n.Entries), nil
+	}
+	// Internal node: every entry rectangle must be exactly its child's
+	// MBR. Entries are copied before recursing because the decoded node's
+	// storage is reused by child reads.
+	entries := make([]node.Entry, len(n.Entries))
+	copy(entries, n.Entries)
+	for i := range entries {
+		entries[i].Rect = entries[i].Rect.Clone()
+	}
+	total := 0
+	for i, e := range entries {
+		childID := storage.PageID(e.Ref)
+		var child node.Node
+		if _, err := c.readPage(childID, &child); err != nil {
+			return 0, err
+		}
+		if len(child.Entries) == 0 {
+			return 0, fmt.Errorf("%w: page %d (child %d of page %d)", ErrEmptyNode, childID, i, id)
+		}
+		got := child.MBR()
+		if !e.Rect.Contains(got) {
+			return 0, fmt.Errorf("%w: page %d entry %d advertises %v, child page %d covers %v",
+				ErrShrunkenMBR, id, i, e.Rect, childID, got)
+		}
+		if !e.Rect.Equal(got) {
+			return 0, fmt.Errorf("%w: page %d entry %d advertises %v, child page %d covers %v",
+				ErrLooseMBR, id, i, e.Rect, childID, got)
+		}
+		sub, err := c.walk(childID, wantLevel-1)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}
+
+// readPage fetches page id, decodes it into n and, when round-trip
+// checking is on, returns a private copy of the raw bytes.
+func (c *checker) readPage(id storage.PageID, n *node.Node) ([]byte, error) {
+	f, err := c.tree.Pool().Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	defer c.tree.Pool().Release(f)
+	var raw []byte
+	if c.cfg.RoundTrip {
+		raw = append([]byte(nil), f.Data()...)
+	}
+	if err := node.Unmarshal(f.Data(), n); err != nil {
+		return nil, fmt.Errorf("invariant: page %d: %w", id, err)
+	}
+	return raw, nil
+}
+
+// checkPackedFill asserts the paper's packing guarantee level by level:
+// with e entries to place at a level and capacity n, the level must use
+// exactly ceil(e/n) nodes, i.e. every node but the last is full.
+func (c *checker) checkPackedFill() error {
+	cap := c.tree.Capacity()
+	for level := range c.nodes {
+		wantNodes := (c.entries[level] + cap - 1) / cap
+		if c.nodes[level] != wantNodes {
+			return fmt.Errorf("%w: level %d stores %d entries in %d nodes; packing requires ceil(%d/%d) = %d nodes",
+				ErrPackedFill, level, c.entries[level], c.nodes[level], c.entries[level], cap, wantNodes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package invariant_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"strtree/internal/buffer"
+	"strtree/internal/geom"
+	"strtree/internal/invariant"
+	"strtree/internal/node"
+	"strtree/internal/pack"
+	"strtree/internal/rtree"
+	"strtree/internal/storage"
+)
+
+// strict turns on every check; a healthy bulk-loaded tree must pass it.
+var strict = invariant.Config{Packed: true, RoundTrip: true}
+
+// packedTree bulk-loads count random rectangles with STR at capacity 8 so
+// even modest counts produce a multi-level tree with corruptible internals.
+func packedTree(t *testing.T, count int) (*rtree.Tree, *buffer.Pool) {
+	t.Helper()
+	pool := buffer.NewPool(storage.NewMemPager(storage.DefaultPageSize), 64)
+	tr, err := rtree.Create(pool, rtree.Config{Dims: 2, Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	entries := make([]node.Entry, count)
+	for i := range entries {
+		x, y := rng.Float64(), rng.Float64()
+		entries[i] = node.Entry{
+			Rect: geom.R2(x, y, x+0.01*rng.Float64(), y+0.01*rng.Float64()),
+			Ref:  uint64(i),
+		}
+	}
+	if err := tr.BulkLoad(entries, pack.STR{}); err != nil {
+		t.Fatal(err)
+	}
+	return tr, pool
+}
+
+// corruptPage decodes page id, hands the node to mutate, and writes the
+// re-serialized node back through the pager so the CRC stays valid: the
+// corruption is structural, not a storage fault, and must be caught by the
+// invariant walk rather than the page decoder.
+func corruptPage(t *testing.T, pool *buffer.Pool, id storage.PageID, mutate func(n *node.Node)) {
+	t.Helper()
+	buf := make([]byte, pool.Pager().PageSize())
+	if err := pool.Pager().ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	var n node.Node
+	if err := node.Unmarshal(buf, &n); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&n)
+	if err := node.Marshal(&n, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Pager().WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Drop cached frames so the checker rereads the corrupted bytes.
+	if err := pool.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readNode decodes one page outside the checker.
+func readNode(t *testing.T, pool *buffer.Pool, id storage.PageID) node.Node {
+	t.Helper()
+	buf := make([]byte, pool.Pager().PageSize())
+	if err := pool.Pager().ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	var n node.Node
+	if err := node.Unmarshal(buf, &n); err != nil {
+		t.Fatal(err)
+	}
+	n.Entries = append([]node.Entry(nil), n.Entries...)
+	for i := range n.Entries {
+		n.Entries[i].Rect = n.Entries[i].Rect.Clone()
+	}
+	return n
+}
+
+// leftmostLeaf follows first-child references from the root down to a
+// leaf page.
+func leftmostLeaf(t *testing.T, pool *buffer.Pool, tr *rtree.Tree) storage.PageID {
+	t.Helper()
+	id := tr.Root()
+	for {
+		n := readNode(t, pool, id)
+		if n.IsLeaf() {
+			return id
+		}
+		id = storage.PageID(n.Entries[0].Ref)
+	}
+}
+
+func TestPackedTreePassesStrictCheck(t *testing.T) {
+	for _, count := range []int{0, 1, 7, 8, 9, 64, 65, 1000} {
+		tr, _ := packedTree(t, count)
+		if err := invariant.Check(tr, strict); err != nil {
+			t.Errorf("count=%d: healthy packed tree rejected: %v", count, err)
+		}
+	}
+}
+
+func TestDynamicTreePassesCheck(t *testing.T) {
+	pool := buffer.NewPool(storage.NewMemPager(storage.DefaultPageSize), 64)
+	tr, err := rtree.Create(pool, rtree.Config{Dims: 2, Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if err := tr.Insert(geom.R2(x, y, x+0.01, y+0.01), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert-built trees satisfy every universal invariant but not the
+	// packed fill factor.
+	if err := invariant.Check(tr, invariant.Config{RoundTrip: true}); err != nil {
+		t.Errorf("healthy dynamic tree rejected: %v", err)
+	}
+	if err := invariant.Check(tr, strict); !errors.Is(err, invariant.ErrPackedFill) {
+		t.Errorf("dynamic tree passed the packed fill check: %v", err)
+	}
+}
+
+func TestDetectsShrunkenMBR(t *testing.T) {
+	tr, pool := packedTree(t, 1000)
+	// Shrink the first entry of the root: its subtree now leaks outside
+	// the advertised rectangle.
+	corruptPage(t, pool, tr.Root(), func(n *node.Node) {
+		r := &n.Entries[0].Rect
+		for d := range r.Max {
+			r.Max[d] = r.Min[d] + (r.Max[d]-r.Min[d])/4
+		}
+	})
+	err := invariant.Check(tr, strict)
+	if !errors.Is(err, invariant.ErrShrunkenMBR) {
+		t.Fatalf("want ErrShrunkenMBR, got: %v", err)
+	}
+	t.Logf("rejected with: %v", err)
+}
+
+func TestDetectsLooseMBR(t *testing.T) {
+	tr, pool := packedTree(t, 1000)
+	corruptPage(t, pool, tr.Root(), func(n *node.Node) {
+		n.Entries[0].Rect.Max[0] += 1.0
+	})
+	err := invariant.Check(tr, strict)
+	if !errors.Is(err, invariant.ErrLooseMBR) {
+		t.Fatalf("want ErrLooseMBR, got: %v", err)
+	}
+	t.Logf("rejected with: %v", err)
+}
+
+func TestDetectsOverfullNode(t *testing.T) {
+	tr, pool := packedTree(t, 1000)
+	// Duplicate an entry inside a full leaf: the page still fits the copy
+	// (capacity 8 is far below the 4 KiB page limit) and the node's MBR is
+	// unchanged, so only the fill bound can catch it.
+	leafID := leftmostLeaf(t, pool, tr)
+	corruptPage(t, pool, leafID, func(n *node.Node) {
+		n.Entries = append(n.Entries, n.Entries[0])
+	})
+	err := invariant.Check(tr, strict)
+	if !errors.Is(err, invariant.ErrOverfullNode) {
+		t.Fatalf("want ErrOverfullNode, got: %v", err)
+	}
+	t.Logf("rejected with: %v", err)
+}
+
+func TestDetectsSkewedHeight(t *testing.T) {
+	tr, pool := packedTree(t, 1000)
+	// Claim a leaf sits one level higher than it does: one root-leaf path
+	// is now shorter than the others.
+	leafID := leftmostLeaf(t, pool, tr)
+	corruptPage(t, pool, leafID, func(n *node.Node) {
+		n.Level = 1
+	})
+	err := invariant.Check(tr, strict)
+	if !errors.Is(err, invariant.ErrUnbalanced) {
+		t.Fatalf("want ErrUnbalanced, got: %v", err)
+	}
+	t.Logf("rejected with: %v", err)
+}
+
+func TestDetectsCountMismatch(t *testing.T) {
+	tr, pool := packedTree(t, 1000)
+	// Drop a data entry from a leaf without updating the parent: the leaf
+	// MBR may stay valid (interior entry), but the total no longer matches
+	// the metadata count. Pick an entry whose rectangle does not touch the
+	// leaf's MBR so the tightness check stays satisfied.
+	leafID := leftmostLeaf(t, pool, tr)
+	leaf := readNode(t, pool, leafID)
+	mbr := leaf.MBR()
+	drop := -1
+	for i, e := range leaf.Entries {
+		inner := true
+		for d := 0; d < leaf.Dims; d++ {
+			if e.Rect.Min[d] == mbr.Min[d] || e.Rect.Max[d] == mbr.Max[d] {
+				inner = false
+				break
+			}
+		}
+		if inner {
+			drop = i
+			break
+		}
+	}
+	if drop < 0 {
+		t.Skip("no interior entry in the probed leaf")
+	}
+	corruptPage(t, pool, leafID, func(n *node.Node) {
+		n.Entries = append(n.Entries[:drop], n.Entries[drop+1:]...)
+	})
+	err := invariant.Check(tr, invariant.Config{})
+	if !errors.Is(err, invariant.ErrCount) {
+		t.Fatalf("want ErrCount, got: %v", err)
+	}
+	t.Logf("rejected with: %v", err)
+}
+
+// TestDistinctErrors pins the acceptance criterion that each corruption
+// class is rejected with its own sentinel, not a shared generic failure.
+func TestDistinctErrors(t *testing.T) {
+	sentinels := []error{
+		invariant.ErrUnbalanced, invariant.ErrShrunkenMBR, invariant.ErrLooseMBR,
+		invariant.ErrOverfullNode, invariant.ErrEmptyNode, invariant.ErrPackedFill,
+		invariant.ErrPageRoundTrip, invariant.ErrPageShared, invariant.ErrCount,
+		invariant.ErrDims,
+	}
+	seen := map[string]bool{}
+	for _, s := range sentinels {
+		if seen[s.Error()] {
+			t.Fatalf("duplicate sentinel message %q", s.Error())
+		}
+		seen[s.Error()] = true
+		for _, other := range sentinels {
+			if s != other && errors.Is(s, other) {
+				t.Fatalf("sentinel %v wraps %v", s, other)
+			}
+		}
+	}
+}

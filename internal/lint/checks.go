@@ -1,0 +1,529 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// walker traverses one file's functions with a live scope, invoking the
+// enabled checks at the relevant nodes.
+type walker struct {
+	a       *Analyzer
+	r       *resolver
+	file    *fileInfo
+	enabled map[string]bool
+	out     *[]Finding
+
+	funcNames []string          // stack of enclosing function names
+	loopVars  []map[string]bool // stack of loop-header variables
+}
+
+func (a *Analyzer) checkPackage(p *pkgInfo, enabled map[string]bool) []Finding {
+	var out []Finding
+	for _, f := range p.files {
+		w := &walker{
+			a:       a,
+			r:       &resolver{a: a, file: f},
+			file:    f,
+			enabled: enabled,
+			out:     &out,
+		}
+		if enabled["imports"] {
+			w.checkImports()
+		}
+		if enabled["directive"] {
+			w.checkDirectives()
+		}
+		for _, decl := range f.ast.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				w.walkFuncDecl(fd)
+			}
+		}
+	}
+	return out
+}
+
+func (w *walker) report(pos token.Pos, check, format string, args ...any) {
+	*w.out = append(*w.out, Finding{
+		Pos:     w.a.fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// libraryPackage reports whether path is library code (the root package or
+// internal/*), where the panics check applies.
+func libraryPackage(path string) bool {
+	return path == "" || strings.HasPrefix(path, "internal/")
+}
+
+// ---------------------------------------------------------------- walking
+
+func (w *walker) walkFuncDecl(fd *ast.FuncDecl) {
+	sc := newScope(nil)
+	if fd.Recv != nil {
+		for _, fld := range fd.Recv.List {
+			t := w.a.parseTypeExpr(w.file, fld.Type)
+			for _, name := range fld.Names {
+				sc.set(name.Name, t)
+			}
+		}
+	}
+	w.bindFieldList(sc, fd.Type.Params)
+	w.bindFieldList(sc, fd.Type.Results)
+	w.funcNames = append(w.funcNames, fd.Name.Name)
+	if fd.Body != nil {
+		w.walkBlock(sc, fd.Body)
+	}
+	w.funcNames = w.funcNames[:len(w.funcNames)-1]
+}
+
+func (w *walker) bindFieldList(sc *scope, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, fld := range fl.List {
+		t := w.a.parseTypeExpr(w.file, fld.Type)
+		for _, name := range fld.Names {
+			sc.set(name.Name, t)
+		}
+	}
+}
+
+func (w *walker) walkBlock(sc *scope, b *ast.BlockStmt) {
+	inner := newScope(sc)
+	for _, st := range b.List {
+		w.walkStmt(inner, st)
+	}
+}
+
+func (w *walker) walkStmt(sc *scope, st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		w.walkBlock(sc, s)
+	case *ast.ExprStmt:
+		w.visitExpr(sc, s.X)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			w.checkDroppedErr(sc, call, "")
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.visitExpr(sc, e)
+		}
+		for _, e := range s.Lhs {
+			if _, ok := e.(*ast.Ident); !ok {
+				w.visitExpr(sc, e)
+			}
+		}
+		if s.Tok == token.DEFINE {
+			w.r.bindAssign(sc, s.Lhs, s.Rhs)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.visitExpr(sc, v)
+			}
+			if vs.Type != nil {
+				t := w.a.parseTypeExpr(w.file, vs.Type)
+				for _, name := range vs.Names {
+					sc.set(name.Name, t)
+				}
+			} else {
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				w.r.bindAssign(sc, lhs, vs.Values)
+			}
+		}
+	case *ast.DeferStmt:
+		w.checkDroppedErr(sc, s.Call, "defer")
+		w.checkLoopCapture(s.Call, "defer")
+		w.visitExpr(sc, s.Call)
+	case *ast.GoStmt:
+		w.checkDroppedErr(sc, s.Call, "go")
+		w.checkLoopCapture(s.Call, "go")
+		w.visitExpr(sc, s.Call)
+	case *ast.IfStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			w.walkStmt(inner, s.Init)
+		}
+		w.visitExpr(inner, s.Cond)
+		w.walkBlock(inner, s.Body)
+		if s.Else != nil {
+			w.walkStmt(inner, s.Else)
+		}
+	case *ast.ForStmt:
+		inner := newScope(sc)
+		vars := map[string]bool{}
+		if s.Init != nil {
+			w.walkStmt(inner, s.Init)
+			if as, ok := s.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, l := range as.Lhs {
+					if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+						vars[id.Name] = true
+					}
+				}
+			}
+		}
+		if s.Cond != nil {
+			w.visitExpr(inner, s.Cond)
+		}
+		if s.Post != nil {
+			w.walkStmt(inner, s.Post)
+		}
+		w.loopVars = append(w.loopVars, vars)
+		w.walkBlock(inner, s.Body)
+		w.loopVars = w.loopVars[:len(w.loopVars)-1]
+	case *ast.RangeStmt:
+		inner := newScope(sc)
+		w.visitExpr(inner, s.X)
+		vars := map[string]bool{}
+		if s.Tok == token.DEFINE {
+			w.r.bindRange(inner, s)
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					vars[id.Name] = true
+				}
+			}
+		}
+		w.loopVars = append(w.loopVars, vars)
+		w.walkBlock(inner, s.Body)
+		w.loopVars = w.loopVars[:len(w.loopVars)-1]
+	case *ast.SwitchStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			w.walkStmt(inner, s.Init)
+		}
+		if s.Tag != nil {
+			w.visitExpr(inner, s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseScope := newScope(inner)
+			for _, e := range clause.List {
+				w.visitExpr(caseScope, e)
+			}
+			for _, cs := range clause.Body {
+				w.walkStmt(caseScope, cs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			w.walkStmt(inner, s.Init)
+		}
+		var bind string
+		if as, ok := s.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				bind = id.Name
+			}
+			for _, e := range as.Rhs {
+				if ta, ok := e.(*ast.TypeAssertExpr); ok {
+					w.visitExpr(inner, ta.X)
+				}
+			}
+		}
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseScope := newScope(inner)
+			if bind != "" {
+				t := unknownType
+				if len(clause.List) == 1 {
+					t = w.a.parseTypeExpr(w.file, clause.List[0])
+				}
+				caseScope.set(bind, t)
+			}
+			for _, cs := range clause.Body {
+				w.walkStmt(caseScope, cs)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseScope := newScope(sc)
+			if clause.Comm != nil {
+				w.walkStmt(caseScope, clause.Comm)
+			}
+			for _, cs := range clause.Body {
+				w.walkStmt(caseScope, cs)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.visitExpr(sc, e)
+		}
+	case *ast.SendStmt:
+		w.visitExpr(sc, s.Chan)
+		w.visitExpr(sc, s.Value)
+	case *ast.IncDecStmt:
+		w.visitExpr(sc, s.X)
+	case *ast.LabeledStmt:
+		w.walkStmt(sc, s.Stmt)
+	}
+}
+
+// visitExpr recursively visits an expression, firing the expression-level
+// checks and descending into function literals with a fresh scope.
+func (w *walker) visitExpr(sc *scope, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		w.checkFloatEq(sc, x)
+		w.visitExpr(sc, x.X)
+		w.visitExpr(sc, x.Y)
+	case *ast.CallExpr:
+		w.checkPanic(sc, x)
+		w.visitExpr(sc, x.Fun)
+		for _, arg := range x.Args {
+			w.visitExpr(sc, arg)
+		}
+	case *ast.FuncLit:
+		lit := newScope(sc)
+		w.bindFieldList(lit, x.Type.Params)
+		w.bindFieldList(lit, x.Type.Results)
+		w.walkBlock(lit, x.Body)
+	case *ast.ParenExpr:
+		w.visitExpr(sc, x.X)
+	case *ast.SelectorExpr:
+		w.visitExpr(sc, x.X)
+	case *ast.IndexExpr:
+		w.visitExpr(sc, x.X)
+		w.visitExpr(sc, x.Index)
+	case *ast.SliceExpr:
+		w.visitExpr(sc, x.X)
+		for _, idx := range []ast.Expr{x.Low, x.High, x.Max} {
+			if idx != nil {
+				w.visitExpr(sc, idx)
+			}
+		}
+	case *ast.StarExpr:
+		w.visitExpr(sc, x.X)
+	case *ast.UnaryExpr:
+		w.visitExpr(sc, x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			w.visitExpr(sc, el)
+		}
+	case *ast.KeyValueExpr:
+		w.visitExpr(sc, x.Value)
+	case *ast.TypeAssertExpr:
+		w.visitExpr(sc, x.X)
+	}
+}
+
+// ----------------------------------------------------------------- checks
+
+// checkFloatEq flags == and != where either operand is floating point.
+func (w *walker) checkFloatEq(sc *scope, be *ast.BinaryExpr) {
+	if !w.enabled["floateq"] {
+		return
+	}
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if w.a.isFloat(w.r.typeOf(sc, be.X)) || w.a.isFloat(w.r.typeOf(sc, be.Y)) {
+		w.report(be.OpPos, "floateq",
+			"%s on float operands; compare with a tolerance, or add //strlint:ignore floateq <reason> if exact equality is the contract", be.Op)
+	}
+}
+
+// checkDroppedErr flags statement-level calls into the error-critical
+// packages whose error result is discarded. how is "", "defer" or "go".
+func (w *walker) checkDroppedErr(sc *scope, call *ast.CallExpr, how string) {
+	if !w.enabled["droppederr"] {
+		return
+	}
+	results, pkg := w.r.callResults(sc, call)
+	if !droppedErrTargets[pkg] {
+		return
+	}
+	hasErr := false
+	for _, t := range results {
+		if t.kind == kError {
+			hasErr = true
+			break
+		}
+	}
+	if !hasErr {
+		return
+	}
+	name := calleeName(call)
+	verb := "call"
+	if how != "" {
+		verb = how + " call"
+	}
+	w.report(call.Pos(), "droppederr",
+		"error from %s %s %s is discarded; handle it, or discard explicitly with _ =", pkg, verb, name)
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "(call)"
+}
+
+// checkPanic flags panic() in library packages outside must*/Must*/init.
+func (w *walker) checkPanic(sc *scope, call *ast.CallExpr) {
+	if !w.enabled["panics"] {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return
+	}
+	if _, shadowed := sc.lookup("panic"); shadowed {
+		return
+	}
+	if !libraryPackage(w.file.pkg.path) {
+		return
+	}
+	name := "(unknown)"
+	if len(w.funcNames) > 0 {
+		name = w.funcNames[len(w.funcNames)-1]
+	}
+	lower := strings.ToLower(name)
+	if strings.HasPrefix(lower, "must") || name == "init" {
+		return
+	}
+	w.report(call.Pos(), "panics",
+		"panic in library function %s; return an error, or mark a documented contract with //strlint:ignore panics <reason>", name)
+}
+
+// checkLoopCapture flags go/defer function literals that capture a loop
+// variable of an enclosing for/range header.
+func (w *walker) checkLoopCapture(call *ast.CallExpr, how string) {
+	if !w.enabled["loopcapture"] || len(w.loopVars) == 0 {
+		return
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	inLoop := func(name string) bool {
+		for _, vars := range w.loopVars {
+			if vars[name] {
+				return true
+			}
+		}
+		return false
+	}
+	shadowed := map[string]bool{}
+	if lit.Type.Params != nil {
+		for _, fld := range lit.Type.Params.List {
+			for _, n := range fld.Names {
+				shadowed[n.Name] = true
+			}
+		}
+	}
+	reported := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || shadowed[id.Name] || reported[id.Name] || !inLoop(id.Name) {
+			return true
+		}
+		reported[id.Name] = true
+		w.report(id.Pos(), "loopcapture",
+			"loop variable %s captured by %s literal; pass it as an argument (unsafe before Go 1.22 per-iteration variables)", id.Name, how)
+		return true
+	})
+}
+
+// checkImports enforces the layering table in rules.go for one file.
+func (w *walker) checkImports() {
+	p := w.file.pkg
+	allowed, ok := layerAllowed[p.path]
+	if !ok {
+		if libraryPackage(p.path) {
+			w.report(w.file.ast.Name.Pos(), "imports",
+				"package %s missing from the strlint layering table (internal/lint/rules.go); add it with its allowed imports", pkgDisplay(p.path))
+		}
+		return
+	}
+	for _, imp := range w.file.ast.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		rel, inModule := cutModulePrefix(path, w.a.module)
+		if path == w.a.module {
+			rel, inModule = "", true
+		}
+		if !inModule {
+			continue
+		}
+		if !allowed[rel] {
+			w.report(imp.Pos(), "imports",
+				"layering violation: %s must not import %s (allowed: %s)",
+				pkgDisplay(p.path), pkgDisplay(rel), allowedList(allowed))
+		}
+	}
+}
+
+func pkgDisplay(path string) string {
+	if path == "" {
+		return "the root package"
+	}
+	return path
+}
+
+func allowedList(allowed map[string]bool) string {
+	if len(allowed) == 0 {
+		return "none"
+	}
+	var names []string
+	for p := range allowed {
+		names = append(names, pkgDisplay(p))
+	}
+	sortStrings(names)
+	return strings.Join(names, ", ")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// checkDirectives validates the ignore directives themselves.
+func (w *walker) checkDirectives() {
+	for _, d := range w.file.ignores {
+		pos := token.Position{Filename: w.file.name, Line: d.line, Column: 1}
+		if len(d.checks) == 0 || d.reason == "" {
+			*w.out = append(*w.out, Finding{Pos: pos, Check: "directive",
+				Message: "malformed directive: want //strlint:ignore <check>[,<check>] <reason>"})
+			continue
+		}
+		for _, c := range d.checks {
+			if !knownCheck(c) || c == "directive" {
+				*w.out = append(*w.out, Finding{Pos: pos, Check: "directive",
+					Message: fmt.Sprintf("directive names unknown check %q (have %s)", c, strings.Join(AllChecks, ", "))})
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package lint implements strlint, the repository's own static analyzer
+// (run as `go run ./cmd/strlint ./...`). It is built on the standard
+// library only — go/parser, go/ast, go/token — matching the module's
+// stdlib-only rule, and its checks are tuned to this codebase rather than
+// to Go in general:
+//
+//	floateq     ==/!= between floating-point values. The geometry and
+//	            Hilbert layers are full of float64 arithmetic where exact
+//	            comparison is almost always a bug; the few deliberate
+//	            exact comparisons (MBR tightness, sentinel zeros) carry
+//	            an ignore directive explaining why they are sound.
+//	droppederr  a call into internal/storage, internal/buffer or
+//	            encoding/binary whose error result is discarded. Dropped
+//	            I/O errors silently corrupt persistent trees.
+//	panics      panic() in library code (the root package and internal/*)
+//	            outside must*/Must*/init functions. Library panics are
+//	            allowed only as documented API contracts, marked with an
+//	            ignore directive.
+//	loopcapture a go or defer function literal capturing the loop
+//	            variable of an enclosing for/range statement. Safe since
+//	            Go 1.22's per-iteration variables, but flagged so the
+//	            code stays correct if ever built or backported with an
+//	            older toolchain.
+//	imports     cross-layer imports that violate the layering table in
+//	            rules.go (e.g. internal/geom must never import
+//	            internal/storage).
+//	directive   a malformed //strlint:ignore comment (unknown check name
+//	            or missing reason).
+//
+// A finding is suppressed by a directive comment on the same line or the
+// line above:
+//
+//	//strlint:ignore <check>[,<check>...] <reason>
+//
+// or for a whole file:
+//
+//	//strlint:file-ignore <check> <reason>
+//
+// The reason is mandatory: every suppression documents why the flagged
+// code is deliberate.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a check.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// AllChecks lists every check strlint knows, in reporting order.
+var AllChecks = []string{"floateq", "droppederr", "panics", "loopcapture", "imports", "directive"}
+
+func knownCheck(name string) bool {
+	for _, c := range AllChecks {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the named checks (nil means all) over the given packages
+// (import paths relative to the module root; nil means every loaded
+// package) and returns the surviving findings sorted by position.
+func (a *Analyzer) Run(pkgPaths, checks []string) ([]Finding, error) {
+	enabled := map[string]bool{}
+	if len(checks) == 0 {
+		checks = AllChecks
+	}
+	for _, c := range checks {
+		if !knownCheck(c) {
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", c, strings.Join(AllChecks, ", "))
+		}
+		enabled[c] = true
+	}
+	var pkgs []*pkgInfo
+	if len(pkgPaths) == 0 {
+		for _, p := range a.pkgs {
+			if !p.synthetic {
+				pkgs = append(pkgs, p)
+			}
+		}
+	} else {
+		for _, path := range pkgPaths {
+			p, ok := a.pkgs[path]
+			if !ok || p.synthetic {
+				return nil, fmt.Errorf("lint: package %q not found in module %s", path, a.module)
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].path < pkgs[j].path })
+
+	var all []Finding
+	for _, p := range pkgs {
+		all = append(all, a.checkPackage(p, enabled)...)
+	}
+	all = a.suppress(all)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return all, nil
+}
+
+// suppress drops findings covered by an ignore directive and validates the
+// directives themselves.
+func (a *Analyzer) suppress(findings []Finding) []Finding {
+	byFile := map[string]*fileInfo{}
+	for _, p := range a.pkgs {
+		for _, f := range p.files {
+			byFile[f.name] = f
+		}
+	}
+	out := findings[:0]
+	for _, fd := range findings {
+		if fd.Check == "directive" {
+			out = append(out, fd) // directive misuse is never suppressible
+			continue
+		}
+		f := byFile[fd.Pos.Filename]
+		if f == nil || !f.suppressed(fd.Check, fd.Pos.Line) {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding of the given check at the given
+// line is covered by one of the file's directives.
+func (f *fileInfo) suppressed(check string, line int) bool {
+	for _, d := range f.ignores {
+		if !d.covers(check) {
+			continue
+		}
+		if d.file || d.line == line || d.line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+type directive struct {
+	line   int
+	checks []string
+	reason string
+	file   bool // file-scope (//strlint:file-ignore)
+}
+
+func (d directive) covers(check string) bool {
+	for _, c := range d.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}

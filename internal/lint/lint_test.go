@@ -1,0 +1,185 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strtree/internal/lint"
+)
+
+// loadDemo parses the fixture module once per test.
+func loadDemo(t *testing.T) *lint.Analyzer {
+	t.Helper()
+	a, err := lint.Load(filepath.Join("testdata", "demo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func runAll(t *testing.T, a *lint.Analyzer) []lint.Finding {
+	t.Helper()
+	findings, err := a.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// byCheck buckets findings per check name.
+func byCheck(findings []lint.Finding) map[string][]lint.Finding {
+	out := map[string][]lint.Finding{}
+	for _, f := range findings {
+		out[f.Check] = append(out[f.Check], f)
+	}
+	return out
+}
+
+func TestLoadDemoModule(t *testing.T) {
+	a := loadDemo(t)
+	if a.Module() != "demo" {
+		t.Fatalf("module = %q", a.Module())
+	}
+	want := []string{"", "internal/geom", "internal/storage", "internal/widget"}
+	got := a.Packages()
+	if len(got) != len(want) {
+		t.Fatalf("packages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packages = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEveryCheckFires proves all five checks plus the directive validator
+// are live, with the exact finding count each fixture was written for.
+func TestEveryCheckFires(t *testing.T) {
+	found := byCheck(runAll(t, loadDemo(t)))
+	wantCounts := map[string]int{
+		"floateq":     3, // two live in demo.go + one under the malformed directive
+		"droppederr":  3, // plain call, defer, encoding/binary
+		"panics":      1, // widget.Explode only; Must*/init exempt
+		"loopcapture": 2, // goroutine capture + defer capture
+		"imports":     2, // geom->storage violation + widget missing from table
+		"directive":   2, // missing reason + unknown check name
+	}
+	for check, want := range wantCounts {
+		if got := len(found[check]); got != want {
+			var lines []string
+			for _, f := range found[check] {
+				lines = append(lines, f.String())
+			}
+			t.Errorf("%s: %d findings, want %d:\n%s", check, got, want, strings.Join(lines, "\n"))
+		}
+	}
+	for check := range found {
+		if _, ok := wantCounts[check]; !ok {
+			t.Errorf("unexpected findings for check %q: %v", check, found[check])
+		}
+	}
+}
+
+func TestFindingDetails(t *testing.T) {
+	findings := runAll(t, loadDemo(t))
+	wantSubstrings := []string{
+		"panic in library function Explode",
+		"loop variable i captured by go literal",
+		"loop variable x captured by defer literal",
+		"internal/geom must not import internal/storage",
+		"package internal/widget missing from the strlint layering table",
+		"error from internal/storage defer call p.Close is discarded",
+		"error from encoding/binary call binary.Write is discarded",
+		"malformed directive",
+		`unknown check "floatqe"`,
+	}
+	all := make([]string, len(findings))
+	for i, f := range findings {
+		all[i] = f.String()
+	}
+	joined := strings.Join(all, "\n")
+	for _, want := range wantSubstrings {
+		if !strings.Contains(joined, want) {
+			t.Errorf("no finding contains %q; findings:\n%s", want, joined)
+		}
+	}
+}
+
+// TestSuppression pins the directive semantics: a well-formed ignore on
+// the preceding line and a file-ignore both silence findings, while a
+// malformed one silences nothing.
+func TestSuppression(t *testing.T) {
+	findings := runAll(t, loadDemo(t))
+	for _, f := range findings {
+		base := filepath.Base(f.Pos.Filename)
+		if base == "fileignore.go" {
+			t.Errorf("file-ignore failed to suppress: %s", f)
+		}
+		if base == "demo.go" && f.Check == "floateq" {
+			// Only the two undirected comparisons may fire; the suppressed
+			// one sits two lines under its directive comment.
+			msg := f.String()
+			if strings.Contains(msg, "Intended") {
+				t.Errorf("line directive failed to suppress: %s", msg)
+			}
+		}
+	}
+}
+
+// TestCheckSelection proves the -checks filter restricts the run.
+func TestCheckSelection(t *testing.T) {
+	a := loadDemo(t)
+	findings, err := a.Run(nil, []string{"panics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Check != "panics" {
+			t.Errorf("selected panics only, got %s", f)
+		}
+	}
+	if len(findings) != 1 {
+		t.Errorf("panics findings = %d, want 1", len(findings))
+	}
+	if _, err := a.Run(nil, []string{"nosuch"}); err == nil {
+		t.Error("unknown check name accepted")
+	}
+}
+
+// TestPackageSelection proves the package filter restricts the run.
+func TestPackageSelection(t *testing.T) {
+	a := loadDemo(t)
+	findings, err := a.Run([]string{"internal/widget"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !strings.Contains(filepath.ToSlash(f.Pos.Filename), "internal/widget/") {
+			t.Errorf("finding outside selected package: %s", f)
+		}
+	}
+	if len(findings) != 2 { // panics + missing-from-table
+		t.Errorf("widget findings = %d, want 2", len(findings))
+	}
+	if _, err := a.Run([]string{"internal/nosuch"}, nil); err == nil {
+		t.Error("unknown package accepted")
+	}
+}
+
+// TestRealModuleIsClean is the repository's own gate: strlint over the
+// actual source tree must be silent. Any new finding either needs a fix or
+// a reasoned //strlint:ignore.
+func TestRealModuleIsClean(t *testing.T) {
+	a, err := lint.Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := a.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

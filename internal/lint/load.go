@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer holds one parsed module plus the symbol tables the checks
+// resolve types against.
+type Analyzer struct {
+	fset   *token.FileSet
+	root   string
+	module string
+	pkgs   map[string]*pkgInfo // keyed by module-relative import path ("" = root package)
+}
+
+// pkgInfo is one parsed package with its collected symbols.
+type pkgInfo struct {
+	path  string // module-relative import path; "" for the module root package
+	name  string
+	dir   string
+	files []*fileInfo
+
+	types map[string]*typeInfo
+	funcs map[string]*funcSig
+	vars  map[string]typeRef
+
+	// synthetic marks hand-written signature tables for standard-library
+	// packages (encoding/binary); they have no files and are never linted.
+	synthetic bool
+}
+
+// fileInfo is one parsed source file.
+type fileInfo struct {
+	name    string // absolute path, as recorded in findings
+	ast     *ast.File
+	pkg     *pkgInfo
+	imports map[string]string // local name -> import path
+	ignores []directive
+}
+
+// Load parses every non-test Go file under root (skipping testdata, hidden
+// directories and vendored code) and builds the symbol tables. root must
+// contain a go.mod naming the module.
+func Load(root string) (*Analyzer, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := moduleName(abs)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		fset:   token.NewFileSet(),
+		root:   abs,
+		module: module,
+		pkgs:   map[string]*pkgInfo{},
+	}
+	if err := a.parseTree(); err != nil {
+		return nil, err
+	}
+	a.addSyntheticPackages()
+	a.buildSymbols()
+	return a, nil
+}
+
+// Module returns the module path from go.mod.
+func (a *Analyzer) Module() string { return a.module }
+
+// Packages returns the loaded packages' module-relative import paths,
+// sorted ("" is the root package).
+func (a *Analyzer) Packages() []string {
+	var out []string
+	for path, p := range a.pkgs {
+		if !p.synthetic {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+func (a *Analyzer) parseTree() error {
+	return filepath.WalkDir(a.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != a.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		return a.parseFile(path)
+	})
+}
+
+func (a *Analyzer) parseFile(path string) error {
+	src, err := parser.ParseFile(a.fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	rel, err := filepath.Rel(a.root, filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	pkgPath := filepath.ToSlash(rel)
+	if pkgPath == "." {
+		pkgPath = ""
+	}
+	p := a.pkgs[pkgPath]
+	if p == nil {
+		p = &pkgInfo{
+			path:  pkgPath,
+			name:  src.Name.Name,
+			dir:   filepath.Dir(path),
+			types: map[string]*typeInfo{},
+			funcs: map[string]*funcSig{},
+			vars:  map[string]typeRef{},
+		}
+		a.pkgs[pkgPath] = p
+	}
+	f := &fileInfo{name: path, ast: src, pkg: p, imports: map[string]string{}}
+	for _, imp := range src.Imports {
+		ipath, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		local := ipath[strings.LastIndexByte(ipath, '/')+1:]
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local != "_" && local != "." {
+			f.imports[local] = ipath
+		}
+	}
+	f.ignores = parseDirectives(a.fset, src)
+	p.files = append(p.files, f)
+	sort.Slice(p.files, func(i, j int) bool { return p.files[i].name < p.files[j].name })
+	return nil
+}
+
+// parseDirectives extracts //strlint:ignore and //strlint:file-ignore
+// comments. Malformed directives are kept with an empty check list so the
+// directive check can report them.
+func parseDirectives(fset *token.FileSet, src *ast.File) []directive {
+	var out []directive
+	for _, cg := range src.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//strlint:")
+			if !ok {
+				continue
+			}
+			fileScope := false
+			switch {
+			case strings.HasPrefix(text, "ignore"):
+				text = strings.TrimPrefix(text, "ignore")
+			case strings.HasPrefix(text, "file-ignore"):
+				text = strings.TrimPrefix(text, "file-ignore")
+				fileScope = true
+			default:
+				continue
+			}
+			d := directive{line: fset.Position(c.Pos()).Line, file: fileScope}
+			fields := strings.Fields(text)
+			if len(fields) >= 2 {
+				d.checks = strings.Split(fields[0], ",")
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// relPath renders a file path relative to the module root for messages.
+func (a *Analyzer) relPath(path string) string {
+	if rel, err := filepath.Rel(a.root, path); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}

@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// scope is a lexical scope: a chain of name -> type bindings built while
+// walking a function body.
+type scope struct {
+	parent *scope
+	vars   map[string]typeRef
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: map[string]typeRef{}}
+}
+
+func (s *scope) lookup(name string) (typeRef, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if t, ok := cur.vars[name]; ok {
+			return t, true
+		}
+	}
+	return unknownType, false
+}
+
+func (s *scope) set(name string, t typeRef) {
+	if name != "_" && name != "" {
+		s.vars[name] = t
+	}
+}
+
+// resolver answers "what is the type of this expression" against one
+// file's import table and the module-wide symbol tables. All answers are
+// best effort: unknown means the checks stay silent.
+type resolver struct {
+	a    *Analyzer
+	file *fileInfo
+}
+
+// packagePath reports whether ident names an imported package (and is not
+// shadowed by a local variable).
+func (r *resolver) packagePath(sc *scope, ident *ast.Ident) (string, bool) {
+	if _, shadowed := sc.lookup(ident.Name); shadowed {
+		return "", false
+	}
+	path, ok := r.file.imports[ident.Name]
+	if !ok {
+		return "", false
+	}
+	return r.a.localPath(path), true
+}
+
+// typeOf resolves the type of an expression.
+func (r *resolver) typeOf(sc *scope, e ast.Expr) typeRef {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		switch x.Kind {
+		case token.FLOAT:
+			return typeRef{kind: kFloat}
+		case token.INT, token.CHAR:
+			return typeRef{kind: kInt}
+		case token.STRING:
+			return typeRef{kind: kString}
+		case token.IMAG:
+			return typeRef{kind: kComplex}
+		}
+	case *ast.Ident:
+		if t, ok := sc.lookup(x.Name); ok {
+			return t
+		}
+		if t, ok := r.file.pkg.vars[x.Name]; ok {
+			return t
+		}
+		if sig, ok := r.file.pkg.funcs[x.Name]; ok {
+			return typeRef{kind: kFunc, sig: sig}
+		}
+		switch x.Name {
+		case "true", "false":
+			return typeRef{kind: kBool}
+		}
+		if _, isType := r.file.pkg.types[x.Name]; isType {
+			return unknownType // a bare type name is not a value
+		}
+	case *ast.ParenExpr:
+		return r.typeOf(sc, x.X)
+	case *ast.SelectorExpr:
+		return r.selectorType(sc, x)
+	case *ast.CallExpr:
+		results, _ := r.callResults(sc, x)
+		if len(results) > 0 {
+			return results[0]
+		}
+	case *ast.IndexExpr:
+		return r.a.elemOf(r.typeOf(sc, x.X))
+	case *ast.SliceExpr:
+		return r.typeOf(sc, x.X)
+	case *ast.StarExpr:
+		t := r.typeOf(sc, x.X)
+		if t.kind == kPointer && t.elem != nil {
+			return *t.elem
+		}
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.AND:
+			inner := r.typeOf(sc, x.X)
+			return typeRef{kind: kPointer, elem: &inner}
+		case token.ARROW:
+			return r.a.elemOf(r.typeOf(sc, x.X))
+		case token.NOT:
+			return typeRef{kind: kBool}
+		default:
+			return r.typeOf(sc, x.X)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return typeRef{kind: kBool}
+		default:
+			if t := r.typeOf(sc, x.X); t.known() {
+				return t
+			}
+			return r.typeOf(sc, x.Y)
+		}
+	case *ast.CompositeLit:
+		if x.Type != nil {
+			return r.a.parseTypeExpr(r.file, x.Type)
+		}
+	case *ast.TypeAssertExpr:
+		if x.Type != nil {
+			return r.a.parseTypeExpr(r.file, x.Type)
+		}
+	case *ast.FuncLit:
+		return typeRef{kind: kFunc, sig: r.a.funcSigOf(r.file, x.Type)}
+	}
+	return unknownType
+}
+
+// selectorType resolves pkg.Name, value.Field and value.Method (as a
+// value, not a call).
+func (r *resolver) selectorType(sc *scope, sel *ast.SelectorExpr) typeRef {
+	if x, ok := sel.X.(*ast.Ident); ok {
+		if path, isPkg := r.packagePath(sc, x); isPkg {
+			p := r.a.pkgs[path]
+			if p == nil {
+				return unknownType
+			}
+			if t, ok := p.vars[sel.Sel.Name]; ok {
+				return t
+			}
+			if sig, ok := p.funcs[sel.Sel.Name]; ok {
+				return typeRef{kind: kFunc, sig: sig}
+			}
+			return unknownType
+		}
+	}
+	base := r.typeOf(sc, sel.X)
+	if !base.known() {
+		return unknownType
+	}
+	if ft := r.a.field(base, sel.Sel.Name); ft.known() {
+		return ft
+	}
+	if sig, _ := r.a.method(base, sel.Sel.Name); sig != nil {
+		return typeRef{kind: kFunc, sig: sig}
+	}
+	return unknownType
+}
+
+// callResults resolves the result types of a call expression and the
+// module-relative (or stdlib) path of the package defining the callee; the
+// path is "" when unknown or for conversions and builtins.
+func (r *resolver) callResults(sc *scope, call *ast.CallExpr) ([]typeRef, string) {
+	fun := call.Fun
+	for {
+		if p, ok := fun.(*ast.ParenExpr); ok {
+			fun = p.X
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if _, shadowed := sc.lookup(f.Name); !shadowed {
+			// Conversion to a builtin basic type: float64(x), uint32(x)...
+			if k, ok := builtinKinds[f.Name]; ok {
+				return []typeRef{{kind: k}}, ""
+			}
+			switch f.Name {
+			case "len", "cap":
+				return []typeRef{{kind: kInt}}, ""
+			case "make", "append":
+				if len(call.Args) > 0 {
+					if f.Name == "make" {
+						return []typeRef{r.a.parseTypeExpr(r.file, call.Args[0])}, ""
+					}
+					return []typeRef{r.typeOf(sc, call.Args[0])}, ""
+				}
+				return nil, ""
+			case "new":
+				if len(call.Args) == 1 {
+					inner := r.a.parseTypeExpr(r.file, call.Args[0])
+					return []typeRef{{kind: kPointer, elem: &inner}}, ""
+				}
+				return nil, ""
+			case "panic", "print", "println", "copy", "delete", "clear",
+				"min", "max", "real", "imag", "complex", "recover":
+				return nil, ""
+			}
+			// Conversion to a package-local named type: Point(x).
+			if _, isType := r.file.pkg.types[f.Name]; isType {
+				return []typeRef{{kind: kNamed, pkg: r.file.pkg.path, name: f.Name}}, ""
+			}
+			if sig, ok := r.file.pkg.funcs[f.Name]; ok {
+				return sig.results, r.file.pkg.path
+			}
+		}
+		// A local variable holding a function value.
+		if t, ok := sc.lookup(f.Name); ok && t.kind == kFunc && t.sig != nil {
+			return t.sig.results, ""
+		}
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			if path, isPkg := r.packagePath(sc, x); isPkg {
+				p := r.a.pkgs[path]
+				if p == nil {
+					return nil, path
+				}
+				if sig, ok := p.funcs[f.Sel.Name]; ok {
+					return sig.results, path
+				}
+				if _, isType := p.types[f.Sel.Name]; isType {
+					// Conversion pkg.T(x).
+					return []typeRef{{kind: kNamed, pkg: path, name: f.Sel.Name}}, ""
+				}
+				return nil, path
+			}
+		}
+		// Method call: resolve the receiver, then the method.
+		recv := r.typeOf(sc, f.X)
+		if !recv.known() {
+			return nil, ""
+		}
+		if sig, pkg := r.a.method(recv, f.Sel.Name); sig != nil {
+			return sig.results, pkg
+		}
+		// Calling a function-typed field.
+		if ft := r.a.field(recv, f.Sel.Name); ft.kind == kFunc && ft.sig != nil {
+			return ft.sig.results, ""
+		}
+	case *ast.FuncLit:
+		return r.a.funcSigOf(r.file, f.Type).results, ""
+	case *ast.ArrayType, *ast.MapType, *ast.StarExpr, *ast.ChanType, *ast.InterfaceType:
+		// Conversion to a composite type literal.
+		return []typeRef{r.a.parseTypeExpr(r.file, fun)}, ""
+	}
+	return nil, ""
+}
+
+// bindAssign records the types of newly defined variables in a := or var
+// statement.
+func (r *resolver) bindAssign(sc *scope, lhs []ast.Expr, rhs []ast.Expr) {
+	names := make([]string, len(lhs))
+	for i, l := range lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			names[i] = id.Name
+		}
+	}
+	switch {
+	case len(rhs) == len(lhs):
+		for i := range lhs {
+			if names[i] != "" {
+				sc.set(names[i], r.typeOf(sc, rhs[i]))
+			}
+		}
+	case len(rhs) == 1 && len(lhs) > 1:
+		switch v := rhs[0].(type) {
+		case *ast.CallExpr:
+			results, _ := r.callResults(sc, v)
+			for i := range lhs {
+				if names[i] == "" {
+					continue
+				}
+				if i < len(results) {
+					sc.set(names[i], results[i])
+				} else {
+					sc.set(names[i], unknownType)
+				}
+			}
+		case *ast.TypeAssertExpr:
+			// v, ok := x.(T)
+			if names[0] != "" && v.Type != nil {
+				sc.set(names[0], r.a.parseTypeExpr(r.file, v.Type))
+			}
+			if len(names) > 1 && names[1] != "" {
+				sc.set(names[1], typeRef{kind: kBool})
+			}
+		case *ast.IndexExpr:
+			// v, ok := m[k]
+			if names[0] != "" {
+				sc.set(names[0], r.a.elemOf(r.typeOf(sc, v.X)))
+			}
+			if len(names) > 1 && names[1] != "" {
+				sc.set(names[1], typeRef{kind: kBool})
+			}
+		case *ast.UnaryExpr:
+			// v, ok := <-ch
+			if v.Op == token.ARROW {
+				if names[0] != "" {
+					sc.set(names[0], r.a.elemOf(r.typeOf(sc, v.X)))
+				}
+				if len(names) > 1 && names[1] != "" {
+					sc.set(names[1], typeRef{kind: kBool})
+				}
+			}
+		}
+	}
+}
+
+// bindRange records the key and value types of a range statement.
+func (r *resolver) bindRange(sc *scope, st *ast.RangeStmt) {
+	setIdent := func(e ast.Expr, t typeRef) {
+		if e == nil {
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			sc.set(id.Name, t)
+		}
+	}
+	over := r.typeOf(sc, st.X)
+	u := r.a.underlying(over)
+	if u.kind == kUnknown && over.kind != kNamed {
+		u = over
+	}
+	switch deref(u).kind {
+	case kSlice:
+		setIdent(st.Key, typeRef{kind: kInt})
+		setIdent(st.Value, r.a.elemOf(over))
+	case kMap:
+		setIdent(st.Key, unknownType)
+		setIdent(st.Value, r.a.elemOf(over))
+	case kString:
+		setIdent(st.Key, typeRef{kind: kInt})
+		setIdent(st.Value, typeRef{kind: kInt})
+	case kChan:
+		setIdent(st.Key, r.a.elemOf(over))
+	case kInt:
+		setIdent(st.Key, typeRef{kind: kInt})
+	default:
+		setIdent(st.Key, unknownType)
+		setIdent(st.Value, unknownType)
+	}
+}

@@ -1,0 +1,96 @@
+package lint
+
+// This file is strlint's repository-specific configuration: the layering
+// table the imports check enforces and the packages whose dropped errors
+// the droppederr check refuses to tolerate.
+
+// droppedErrTargets are the packages whose error returns must never be
+// silently discarded: the storage and buffer layers (a dropped error there
+// corrupts a persistent tree) and encoding/binary (a short read/write
+// yields a garbage page). Keys are module-relative paths or stdlib paths.
+var droppedErrTargets = map[string]bool{
+	"internal/storage": true,
+	"internal/buffer":  true,
+	"encoding/binary":  true,
+}
+
+// layerAllowed is the architecture of the module as an allowed-imports
+// table: for each library package, the set of module-internal packages it
+// may import ("" is the root strtree package). Anything else is a layering
+// violation. The layering is strictly bottom-up:
+//
+//	geom, hilbert, storage, svg        (foundations: no internal imports)
+//	node, query, wkt, geojson          -> geom
+//	buffer, trace                      -> storage
+//	datagen, extsort                   -> geom, node
+//	pack                               -> extsort, geom, hilbert, node
+//	rtree                              -> buffer, geom, node, storage
+//	metrics, invariant                 -> rtree and below
+//	experiments                        -> everything below
+//	strtree (root)                     -> the public surface's needs
+//	lint                               (standalone: no internal imports)
+//
+// Commands (cmd/*) and examples are deliberately unconstrained: they are
+// leaves that may wire any layers together.
+var layerAllowed = map[string]map[string]bool{
+	"internal/geom":    {},
+	"internal/hilbert": {},
+	"internal/storage": {},
+	"internal/svg":     {},
+	"internal/lint":    {},
+	"internal/node":    {"internal/geom": true},
+	"internal/query":   {"internal/geom": true},
+	"internal/wkt":     {"internal/geom": true},
+	"internal/geojson": {"internal/geom": true},
+	"internal/buffer":  {"internal/storage": true},
+	"internal/trace":   {"internal/storage": true},
+	"internal/datagen": {"internal/geom": true, "internal/node": true},
+	"internal/extsort": {"internal/geom": true, "internal/node": true},
+	"internal/pack": {
+		"internal/extsort": true,
+		"internal/geom":    true,
+		"internal/hilbert": true,
+		"internal/node":    true,
+	},
+	"internal/rtree": {
+		"internal/buffer":  true,
+		"internal/geom":    true,
+		"internal/node":    true,
+		"internal/storage": true,
+	},
+	"internal/metrics": {
+		"internal/node":    true,
+		"internal/rtree":   true,
+		"internal/storage": true,
+	},
+	"internal/invariant": {
+		"internal/buffer":  true,
+		"internal/geom":    true,
+		"internal/node":    true,
+		"internal/rtree":   true,
+		"internal/storage": true,
+	},
+	"internal/experiments": {
+		"internal/buffer":  true,
+		"internal/datagen": true,
+		"internal/geom":    true,
+		"internal/hilbert": true,
+		"internal/metrics": true,
+		"internal/node":    true,
+		"internal/pack":    true,
+		"internal/query":   true,
+		"internal/rtree":   true,
+		"internal/storage": true,
+		"internal/trace":   true,
+	},
+	"": { // the root strtree package
+		"internal/buffer":    true,
+		"internal/geom":      true,
+		"internal/invariant": true,
+		"internal/metrics":   true,
+		"internal/node":      true,
+		"internal/pack":      true,
+		"internal/rtree":     true,
+		"internal/storage":   true,
+	},
+}

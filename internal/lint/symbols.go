@@ -1,0 +1,423 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// kind classifies a resolved type far enough for the checks: the analyzer
+// is not a full type checker, it only needs to answer "is this a float?",
+// "does this call return an error?" and "what package defines this
+// method?".
+type kind uint8
+
+const (
+	kUnknown kind = iota
+	kFloat
+	kInt
+	kComplex
+	kString
+	kBool
+	kError
+	kNamed     // defined type; pkg+name locate its typeInfo
+	kSlice     // includes arrays; elem set
+	kMap       // elem is the value type
+	kPointer   // elem set
+	kChan      // elem set
+	kFunc      // sig may be set (function literals, method values)
+	kInterface // anonymous interface
+	kStruct    // anonymous struct
+)
+
+// typeRef is a best-effort resolved type. The zero value means "unknown",
+// which every consumer treats as "no finding" — the analyzer is
+// deliberately conservative.
+type typeRef struct {
+	kind      kind
+	pkg, name string // for kNamed: module-relative or stdlib import path + type name
+	elem      *typeRef
+	sig       *funcSig // for kFunc when known
+}
+
+var unknownType = typeRef{}
+
+func (t typeRef) known() bool { return t.kind != kUnknown }
+
+// funcSig is the part of a function signature the checks need.
+type funcSig struct {
+	params  []typeRef
+	results []typeRef
+}
+
+func (s *funcSig) returnsError() bool {
+	if s == nil {
+		return false
+	}
+	for _, r := range s.results {
+		if r.kind == kError {
+			return true
+		}
+	}
+	return false
+}
+
+// typeInfo is one defined type with its members.
+type typeInfo struct {
+	name       string
+	underlying typeRef
+	fields     map[string]typeRef  // struct fields
+	methods    map[string]*funcSig // declared methods plus interface method sets
+}
+
+var builtinKinds = map[string]kind{
+	"float32": kFloat, "float64": kFloat,
+	"int": kInt, "int8": kInt, "int16": kInt, "int32": kInt, "int64": kInt,
+	"uint": kInt, "uint8": kInt, "uint16": kInt, "uint32": kInt, "uint64": kInt,
+	"uintptr": kInt, "byte": kInt, "rune": kInt,
+	"complex64": kComplex, "complex128": kComplex,
+	"string": kString, "bool": kBool, "error": kError,
+}
+
+// buildSymbols fills every package's type, function and variable tables.
+// Types are registered first so member resolution across packages works
+// regardless of declaration order.
+func (a *Analyzer) buildSymbols() {
+	for _, p := range a.pkgs {
+		for _, f := range p.files {
+			for _, decl := range f.ast.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						p.types[ts.Name.Name] = &typeInfo{
+							name:    ts.Name.Name,
+							fields:  map[string]typeRef{},
+							methods: map[string]*funcSig{},
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, p := range a.pkgs {
+		for _, f := range p.files {
+			a.collectFile(f)
+		}
+	}
+}
+
+func (a *Analyzer) collectFile(f *fileInfo) {
+	p := f.pkg
+	for _, decl := range f.ast.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			sig := a.funcSigOf(f, d.Type)
+			if d.Recv == nil || len(d.Recv.List) == 0 {
+				p.funcs[d.Name.Name] = sig
+				continue
+			}
+			recv := a.parseTypeExpr(f, d.Recv.List[0].Type)
+			for recv.kind == kPointer && recv.elem != nil {
+				recv = *recv.elem
+			}
+			if recv.kind == kNamed {
+				if ti := p.types[recv.name]; ti != nil {
+					ti.methods[d.Name.Name] = sig
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					a.collectTypeSpec(f, s)
+				case *ast.ValueSpec:
+					a.collectValueSpec(f, s)
+				}
+			}
+		}
+	}
+}
+
+func (a *Analyzer) collectTypeSpec(f *fileInfo, s *ast.TypeSpec) {
+	ti := f.pkg.types[s.Name.Name]
+	if ti == nil {
+		return
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		ti.underlying = typeRef{kind: kStruct}
+		for _, fld := range t.Fields.List {
+			ft := a.parseTypeExpr(f, fld.Type)
+			for _, name := range fld.Names {
+				ti.fields[name.Name] = ft
+			}
+			// Embedded field: register under the type's base name so
+			// promoted-field access still resolves.
+			if len(fld.Names) == 0 {
+				base := ft
+				for base.kind == kPointer && base.elem != nil {
+					base = *base.elem
+				}
+				if base.kind == kNamed {
+					ti.fields[base.name] = ft
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		ti.underlying = typeRef{kind: kInterface}
+		for _, m := range t.Methods.List {
+			ft, ok := m.Type.(*ast.FuncType)
+			if !ok || len(m.Names) == 0 {
+				continue
+			}
+			sig := a.funcSigOf(f, ft)
+			for _, name := range m.Names {
+				ti.methods[name.Name] = sig
+			}
+		}
+	default:
+		ti.underlying = a.parseTypeExpr(f, s.Type)
+	}
+}
+
+func (a *Analyzer) collectValueSpec(f *fileInfo, s *ast.ValueSpec) {
+	p := f.pkg
+	if s.Type != nil {
+		t := a.parseTypeExpr(f, s.Type)
+		for _, name := range s.Names {
+			p.vars[name.Name] = t
+		}
+		return
+	}
+	// Initialized package-level values: resolve the initializer with an
+	// empty scope. This catches the common forms (literals, conversions,
+	// references to other declarations).
+	r := &resolver{a: a, file: f}
+	for i, name := range s.Names {
+		if i < len(s.Values) {
+			if t := r.typeOf(newScope(nil), s.Values[i]); t.known() {
+				p.vars[name.Name] = t
+			}
+		}
+	}
+}
+
+// funcSigOf resolves a function type's parameter and result types.
+func (a *Analyzer) funcSigOf(f *fileInfo, ft *ast.FuncType) *funcSig {
+	sig := &funcSig{}
+	if ft.Params != nil {
+		for _, fld := range ft.Params.List {
+			t := a.parseTypeExpr(f, fld.Type)
+			n := len(fld.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				sig.params = append(sig.params, t)
+			}
+		}
+	}
+	if ft.Results != nil {
+		for _, fld := range ft.Results.List {
+			t := a.parseTypeExpr(f, fld.Type)
+			n := len(fld.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				sig.results = append(sig.results, t)
+			}
+		}
+	}
+	return sig
+}
+
+// parseTypeExpr resolves a type expression appearing in a declaration,
+// using the declaring file's import table for qualified names.
+func (a *Analyzer) parseTypeExpr(f *fileInfo, e ast.Expr) typeRef {
+	switch t := e.(type) {
+	case *ast.Ident:
+		if k, ok := builtinKinds[t.Name]; ok {
+			return typeRef{kind: k}
+		}
+		if t.Name == "any" {
+			return typeRef{kind: kInterface}
+		}
+		return typeRef{kind: kNamed, pkg: f.pkg.path, name: t.Name}
+	case *ast.SelectorExpr:
+		if x, ok := t.X.(*ast.Ident); ok {
+			if path, ok := f.imports[x.Name]; ok {
+				return typeRef{kind: kNamed, pkg: a.localPath(path), name: t.Sel.Name}
+			}
+		}
+		return unknownType
+	case *ast.StarExpr:
+		inner := a.parseTypeExpr(f, t.X)
+		return typeRef{kind: kPointer, elem: &inner}
+	case *ast.ArrayType:
+		inner := a.parseTypeExpr(f, t.Elt)
+		return typeRef{kind: kSlice, elem: &inner}
+	case *ast.Ellipsis:
+		inner := a.parseTypeExpr(f, t.Elt)
+		return typeRef{kind: kSlice, elem: &inner}
+	case *ast.MapType:
+		inner := a.parseTypeExpr(f, t.Value)
+		return typeRef{kind: kMap, elem: &inner}
+	case *ast.ChanType:
+		inner := a.parseTypeExpr(f, t.Value)
+		return typeRef{kind: kChan, elem: &inner}
+	case *ast.FuncType:
+		return typeRef{kind: kFunc, sig: a.funcSigOf(f, t)}
+	case *ast.InterfaceType:
+		return typeRef{kind: kInterface}
+	case *ast.StructType:
+		return typeRef{kind: kStruct}
+	case *ast.ParenExpr:
+		return a.parseTypeExpr(f, t.X)
+	}
+	return unknownType
+}
+
+// localPath maps an import path onto the analyzer's package key: module
+// packages become module-relative, everything else stays as-is (and only
+// resolves if a synthetic table exists for it).
+func (a *Analyzer) localPath(importPath string) string {
+	if importPath == a.module {
+		return ""
+	}
+	if rest, ok := cutModulePrefix(importPath, a.module); ok {
+		return rest
+	}
+	return importPath
+}
+
+func cutModulePrefix(path, module string) (string, bool) {
+	if len(path) > len(module)+1 && path[:len(module)] == module && path[len(module)] == '/' {
+		return path[len(module)+1:], true
+	}
+	return "", false
+}
+
+// addSyntheticPackages registers signature tables for the standard-library
+// packages the droppederr check targets. Only error-returning functions
+// need to be listed.
+func (a *Analyzer) addSyntheticPackages() {
+	errResult := []typeRef{{kind: kError}}
+	binary := &pkgInfo{
+		path: "encoding/binary", name: "binary", synthetic: true,
+		types: map[string]*typeInfo{},
+		funcs: map[string]*funcSig{
+			"Read":  {results: errResult},
+			"Write": {results: errResult},
+		},
+		vars: map[string]typeRef{},
+	}
+	a.pkgs["encoding/binary"] = binary
+}
+
+// underlying follows named-type chains to a structural type, with a depth
+// guard against cycles.
+func (a *Analyzer) underlying(t typeRef) typeRef {
+	for depth := 0; depth < 16; depth++ {
+		if t.kind != kNamed {
+			return t
+		}
+		p := a.pkgs[t.pkg]
+		if p == nil {
+			return unknownType
+		}
+		ti := p.types[t.name]
+		if ti == nil {
+			return unknownType
+		}
+		t = ti.underlying
+	}
+	return unknownType
+}
+
+// isFloat reports whether t is float32/float64 or a defined type whose
+// underlying type is.
+func (a *Analyzer) isFloat(t typeRef) bool {
+	if t.kind == kFloat {
+		return true
+	}
+	return a.underlying(t).kind == kFloat
+}
+
+// deref strips pointers.
+func deref(t typeRef) typeRef {
+	for t.kind == kPointer && t.elem != nil {
+		t = *t.elem
+	}
+	return t
+}
+
+// method resolves a method on t, returning its signature and the package
+// that defines it.
+func (a *Analyzer) method(t typeRef, name string) (*funcSig, string) {
+	t = deref(t)
+	if t.kind != kNamed {
+		return nil, ""
+	}
+	p := a.pkgs[t.pkg]
+	if p == nil {
+		return nil, ""
+	}
+	ti := p.types[t.name]
+	if ti == nil {
+		return nil, ""
+	}
+	if sig, ok := ti.methods[name]; ok {
+		return sig, t.pkg
+	}
+	// Promoted methods through an embedded field.
+	for _, ft := range ti.fields {
+		base := deref(ft)
+		if base.kind == kNamed && base.name != t.name {
+			if sig, pkg := a.method(base, name); sig != nil {
+				return sig, pkg
+			}
+		}
+	}
+	return nil, ""
+}
+
+// field resolves a struct field on t.
+func (a *Analyzer) field(t typeRef, name string) typeRef {
+	t = deref(t)
+	if t.kind != kNamed {
+		return unknownType
+	}
+	p := a.pkgs[t.pkg]
+	if p == nil {
+		return unknownType
+	}
+	ti := p.types[t.name]
+	if ti == nil {
+		return unknownType
+	}
+	if ft, ok := ti.fields[name]; ok {
+		return ft
+	}
+	return unknownType
+}
+
+// elemOf returns the element type of a slice, array, pointer-to-array or
+// map (value type), following named types.
+func (a *Analyzer) elemOf(t typeRef) typeRef {
+	t = deref(t)
+	if t.kind == kNamed {
+		t = a.underlying(t)
+		t = deref(t)
+	}
+	switch t.kind {
+	case kSlice, kMap, kChan:
+		if t.elem != nil {
+			return *t.elem
+		}
+	case kString:
+		return typeRef{kind: kInt}
+	}
+	return unknownType
+}

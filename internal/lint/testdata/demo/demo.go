@@ -1,0 +1,78 @@
+// Package demo is the strlint test fixture: every construct below is
+// annotated with the finding it must (or must not) produce.
+package demo
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"demo/internal/storage"
+)
+
+// EqualWeight fires floateq on the == operator.
+func EqualWeight(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// DifferentWeight fires floateq on the != operator via a float32 field.
+type scale struct{ factor float32 }
+
+func (s scale) isIdentity() bool {
+	return s.factor != 1 // want floateq
+}
+
+// EqualWeightIntended is the same comparison suppressed by a directive.
+func EqualWeightIntended(a, b float64) bool {
+	//strlint:ignore floateq bit-exact equality is this fixture's contract
+	return a == b
+}
+
+// IntEqual must not fire: both operands are integers.
+func IntEqual(a, b int) bool { return a == b }
+
+// DropAll fires droppederr three ways: a plain call, a defer, and an
+// encoding/binary write.
+func DropAll(p *storage.Pager) {
+	p.Flush()       // want droppederr
+	defer p.Close() // want droppederr
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(7)) // want droppederr
+}
+
+// DropIntended is a discarded error under a directive.
+func DropIntended(p *storage.Pager) {
+	//strlint:ignore droppederr fixture: the error is deliberately dropped
+	p.Flush()
+}
+
+// DropHandled must not fire: the error is consumed.
+func DropHandled(p *storage.Pager) error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	_ = p.Close()
+	return nil
+}
+
+// CaptureLoop fires loopcapture for the goroutine and the defer.
+func CaptureLoop(xs []int) {
+	for i := range xs {
+		go func() {
+			_ = xs[i] // want loopcapture
+		}()
+	}
+	for _, x := range xs {
+		defer func() {
+			_ = x // want loopcapture
+		}()
+	}
+}
+
+// CaptureSafely must not fire: the loop variable is passed as an argument.
+func CaptureSafely(xs []int) {
+	for i := range xs {
+		go func(i int) {
+			_ = xs[i]
+		}(i)
+	}
+}

@@ -1,0 +1,12 @@
+package demo
+
+// The two malformed directives below each fire the directive check and
+// suppress nothing.
+
+//strlint:ignore floateq
+func missingReason(a, b float64) bool {
+	return a == b // still fires floateq: the directive above is malformed
+}
+
+//strlint:ignore floatqe typo in the check name
+func unknownCheck() {}

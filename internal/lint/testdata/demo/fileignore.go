@@ -1,0 +1,6 @@
+//strlint:file-ignore floateq this whole file compares floats exactly on purpose
+package demo
+
+func fileWideA(a, b float64) bool { return a == b } // suppressed by file-ignore
+
+func fileWideB(a, b float64) bool { return a != b } // suppressed by file-ignore

@@ -1,0 +1,8 @@
+// Package geom sits at the bottom of the layering table (no internal
+// imports allowed) yet imports internal/storage: the imports fixture.
+package geom
+
+import "demo/internal/storage"
+
+// Leak drags the storage layer into the geometry layer.
+func Leak() (*storage.Pager, error) { return storage.Open("x") }

@@ -1,0 +1,15 @@
+// Package storage mirrors the real module's error-critical storage layer
+// so the droppederr fixture can discard errors from it.
+package storage
+
+// Pager is a stand-in for the real pager.
+type Pager struct{}
+
+// Flush pretends to write buffered pages.
+func (p *Pager) Flush() error { return nil }
+
+// Close pretends to release the pager.
+func (p *Pager) Close() error { return nil }
+
+// Open pretends to open a pager.
+func Open(path string) (*Pager, error) { return &Pager{}, nil }

@@ -1,0 +1,19 @@
+// Package widget is absent from the layering table (an imports finding in
+// itself) and panics from ordinary library functions.
+package widget
+
+// Explode panics from plain library code: a panics finding.
+func Explode() {
+	panic("boom")
+}
+
+// MustExplode panics from a must-prefixed function: allowed by convention.
+func MustExplode() {
+	panic("boom")
+}
+
+func init() {
+	if false {
+		panic("unreachable") // init is exempt as well
+	}
+}

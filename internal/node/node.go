@@ -77,6 +77,7 @@ func (n *Node) IsLeaf() bool { return n.Level == 0 }
 // rectangle stored for this node one level up.
 func (n *Node) MBR() geom.Rect {
 	if len(n.Entries) == 0 {
+		//strlint:ignore panics documented contract: an empty node has no MBR, and builders never produce one
 		panic("node: MBR of empty node")
 	}
 	m := n.Entries[0].Rect.Clone()

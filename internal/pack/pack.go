@@ -227,6 +227,7 @@ func (s STR) Order(entries []node.Entry, n, level int) {
 		return
 	}
 	if n < 1 {
+		//strlint:ignore panics documented contract: a capacity below 1 is a builder bug, not a data condition
 		panic("pack: node capacity < 1")
 	}
 	s.tile(entries, n, 0, entries[0].Rect.Dim())

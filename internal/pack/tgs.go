@@ -40,6 +40,7 @@ func (t TGS) Order(entries []node.Entry, n, level int) {
 		return
 	}
 	if n < 1 {
+		//strlint:ignore panics documented contract: a capacity below 1 is a builder bug, not a data condition
 		panic("pack: node capacity < 1")
 	}
 	t.split(entries, n)

@@ -208,6 +208,7 @@ func chooseSubtree(entries []node.Entry, r geom.Rect) int {
 	for i := range entries {
 		enl := entries[i].Rect.Enlargement(r)
 		area := entries[i].Rect.Area()
+		//strlint:ignore floateq exact tie-break on equal enlargement, per Guttman; a tolerance would misclassify near-ties
 		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 			best, bestEnl, bestArea = i, enl, area
 		}
@@ -316,7 +317,7 @@ func splitQuadratic(entries []node.Entry, minFill int) (left, right []node.Entry
 		rest = append(rest[:pick], rest[pick+1:]...)
 		d1, d2 := la.Enlargement(e.Rect), lb.Enlargement(e.Rect)
 		switch {
-		case d1 < d2, d1 == d2 && la.Area() < lb.Area(),
+		case d1 < d2, d1 == d2 && la.Area() < lb.Area(), //strlint:ignore floateq exact tie-break on equal enlargement and area, per Guttman
 			d1 == d2 && la.Area() == lb.Area() && len(left) <= len(right):
 			left = append(left, e)
 			la.UnionInPlace(e.Rect)
@@ -351,6 +352,7 @@ func distribute(entries []node.Entry, seedA, seedB, minFill int) (left, right []
 			lb.UnionInPlace(e.Rect)
 		default:
 			d1, d2 := la.Enlargement(e.Rect), lb.Enlargement(e.Rect)
+			//strlint:ignore floateq exact tie-break on equal enlargement, per Guttman
 			if d1 < d2 || (d1 == d2 && len(left) <= len(right)) {
 				left = append(left, e)
 				la.UnionInPlace(e.Rect)

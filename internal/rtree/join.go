@@ -48,6 +48,7 @@ type joiner struct {
 
 // near reports whether two rectangles are within the join distance.
 func (j *joiner) near(a, b geom.Rect) bool {
+	//strlint:ignore floateq 0 is the exact sentinel selecting an intersection join
 	if j.dist == 0 {
 		return a.Intersects(b)
 	}

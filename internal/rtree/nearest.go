@@ -99,6 +99,7 @@ type distQueue []distItem
 
 func (q distQueue) Len() int { return len(q) }
 func (q distQueue) Less(i, j int) bool {
+	//strlint:ignore floateq exact tie-break: only precisely equal distances defer to the entry-kind rule
 	if q[i].dist != q[j].dist {
 		return q[i].dist < q[j].dist
 	}

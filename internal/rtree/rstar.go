@@ -57,6 +57,7 @@ func splitRStar(entries []node.Entry, minFill int) (left, right []node.Entry) {
 				overlap = inter.Area()
 			}
 			area := l.Area() + r.Area()
+			//strlint:ignore floateq exact tie-break on equal overlap, per Beckmann et al.
 			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
 				bestOverlap, bestArea, bestK, bestUpper = overlap, area, k, byUpper
 			}
@@ -73,6 +74,7 @@ func sortAxis(entries []node.Entry, axis int, byUpper bool) {
 		if byUpper {
 			return entries[i].Rect.Max[axis] < entries[j].Rect.Max[axis]
 		}
+		//strlint:ignore floateq exact tie-break keeping the stable sort deterministic
 		if entries[i].Rect.Min[axis] != entries[j].Rect.Min[axis] {
 			return entries[i].Rect.Min[axis] < entries[j].Rect.Min[axis]
 		}

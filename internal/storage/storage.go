@@ -90,6 +90,7 @@ type MemPager struct {
 // NewMemPager returns an empty in-memory pager with the given page size.
 func NewMemPager(pageSize int) *MemPager {
 	if pageSize <= 0 {
+		//strlint:ignore panics documented contract: an invalid page size is a programming error, not a runtime condition
 		panic(fmt.Sprintf("storage: invalid page size %d", pageSize))
 	}
 	return &MemPager{pageSize: pageSize}

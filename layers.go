@@ -53,8 +53,7 @@ func CreateLayers(path string, opts Options) (*LayerSet, error) {
 	}
 	ls, err := newLayerSet(pg, opts)
 	if err != nil {
-		pg.Close()
-		return nil, err
+		return nil, errors.Join(err, pg.Close())
 	}
 	return ls, nil
 }
@@ -98,14 +97,12 @@ func OpenLayers(path string, opts Options) (*LayerSet, error) {
 	}
 	f, err := pool.Fetch(0)
 	if err != nil {
-		pg.Close()
-		return nil, err
+		return nil, errors.Join(err, pg.Close())
 	}
 	err = ls.decodeCatalog(f.Data())
 	pool.Release(f)
 	if err != nil {
-		pg.Close()
-		return nil, err
+		return nil, errors.Join(err, pg.Close())
 	}
 	return ls, nil
 }

@@ -37,6 +37,14 @@ func TestLayersInMemory(t *testing.T) {
 	if err := roads.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	// Both layers hold the universal invariants on the shared storage
+	// (roads was insert-built, so only parcels is packed).
+	if err := parcels.CheckPackedInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := roads.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 	// Cross-layer join works on the shared storage.
 	pairs := 0
 	if err := Join(parcels, roads, func(a, b Item) bool { pairs++; return true }); err != nil {

@@ -25,6 +25,7 @@ import (
 
 	"strtree/internal/buffer"
 	"strtree/internal/geom"
+	"strtree/internal/invariant"
 	"strtree/internal/metrics"
 	"strtree/internal/node"
 	"strtree/internal/pack"
@@ -218,8 +219,7 @@ func Create(path string, opts Options) (*Tree, error) {
 	}
 	t, err := create(pg, opts)
 	if err != nil {
-		pg.Close()
-		return nil, err
+		return nil, errors.Join(err, pg.Close())
 	}
 	return t, nil
 }
@@ -251,8 +251,7 @@ func Open(path string, opts Options) (*Tree, error) {
 	pool := buffer.NewPool(pg, opts.BufferPages)
 	inner, err := rtree.Open(pool)
 	if err != nil {
-		pg.Close()
-		return nil, err
+		return nil, errors.Join(err, pg.Close())
 	}
 	return &Tree{inner: inner, pool: pool, pager: pg}, nil
 }
@@ -368,6 +367,27 @@ func (t *Tree) Metrics() (Metrics, error) {
 // Validate checks the tree's structural invariants (balance, tight MBRs,
 // fill bounds, no page shared between subtrees).
 func (t *Tree) Validate() error { return t.inner.Validate() }
+
+// CheckInvariants runs the full structural verifier over every page of the
+// tree: height balance, exact MBR tightness at every internal entry, fill
+// bounds, entry-count accounting, and a byte-for-byte page serialization
+// round-trip. It holds for any consistent tree, packed or dynamically
+// built, and returns a descriptive error naming the first violated
+// invariant and the offending page. The walk reads the whole tree, so it
+// perturbs Stats.
+func (t *Tree) CheckInvariants() error {
+	return invariant.Check(t.inner, invariant.Config{RoundTrip: true})
+}
+
+// CheckPackedInvariants runs CheckInvariants plus the STR packing fill
+// factor from the paper's Section 3: every node except the last of each
+// level holds exactly Capacity entries, i.e. each level uses the minimum
+// ceil(entries/capacity) nodes. It holds for freshly bulk-loaded trees;
+// trees later mutated by Insert or Delete keep the universal invariants
+// but generally lose this one.
+func (t *Tree) CheckPackedInvariants() error {
+	return invariant.Check(t.inner, invariant.Config{Packed: true, RoundTrip: true})
+}
 
 // Flush writes all buffered dirty pages and metadata through to storage.
 // On a read-only View it is a no-op.

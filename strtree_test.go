@@ -33,6 +33,9 @@ func TestQuickstartFlow(t *testing.T) {
 	if err := tree.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	if err := tree.CheckPackedInvariants(); err != nil {
+		t.Fatal(err)
+	}
 	q := R2(0.4, 0.4, 0.6, 0.6)
 	want := 0
 	for _, it := range items {
@@ -69,6 +72,9 @@ func TestAllPackingsBuildEquivalentContent(t *testing.T) {
 			t.Fatalf("%v: %v", p, err)
 		}
 		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if err := tree.CheckPackedInvariants(); err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
 		c, err := tree.Count(q)
@@ -134,6 +140,11 @@ func TestDynamicInsertDelete(t *testing.T) {
 		t.Fatalf("Len = %d", tree.Len())
 	}
 	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The universal invariants (not the packed fill factor) must survive
+	// arbitrary insert/delete churn.
+	if err := tree.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
