@@ -11,6 +11,7 @@ package strtree_test
 
 import (
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"strtree"
@@ -385,6 +386,83 @@ func BenchmarkParallelSTR(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				copy(work, entries)
 				pack.STR{Workers: workers}.Order(work, 100, 0)
+			}
+		})
+	}
+}
+
+// concurrentBenchTree builds the shared fixture for the concurrent-query
+// benchmarks: a packed 50k-entry tree behind a buffer of the given shard
+// count, with a warm start so the steady-state hit/miss mix is measured.
+func concurrentBenchTree(b *testing.B, shards int, qs []strtree.Rect) *strtree.Tree {
+	b.Helper()
+	entries := datagen.UniformSquares(50000, 5.0, 1)
+	items := make([]strtree.Item, len(entries))
+	for i, e := range entries {
+		items[i] = strtree.Item{Rect: e.Rect, ID: e.Ref}
+	}
+	tree, err := strtree.New(strtree.Options{Capacity: 100, BufferPages: 256, BufferShards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tree.BulkLoad(items, strtree.PackSTR); err != nil {
+		b.Fatal(err)
+	}
+	if err := tree.DropCaches(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tree.SearchBatchCount(qs, 1); err != nil {
+		b.Fatal(err)
+	}
+	tree.ResetStats()
+	return tree
+}
+
+// BenchmarkConcurrentQuery measures parallel query throughput through one
+// shared tree and buffer; one op is one region query. Run with
+// -cpu 1,4,8 to see scaling: the sharded variants keep scaling with
+// GOMAXPROCS while shards=1 serializes every page fetch behind a single
+// buffer mutex. Each parallel goroutine walks the query set from its own
+// offset so concurrent workers touch different subtrees, like independent
+// clients would.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	qs := query.Regions(512, query.Extent1Pct, 2)
+	for _, shards := range []int{1, 8, 32} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			tree := concurrentBenchTree(b, shards, qs)
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(int64(len(qs) / 8)))
+				for pb.Next() {
+					q := qs[i%len(qs)]
+					i++
+					if err := tree.Search(q, func(strtree.Item) bool { return true }); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if n := tree.Stats().LogicalReads; n > 0 {
+				b.ReportMetric(float64(tree.Stats().DiskReads)/float64(b.N), "accesses/query")
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentQueryBatch measures the BatchExecutor end to end: one
+// op is a 256-query batch fanned across GOMAXPROCS workers. Run with
+// -cpu 1,4,8.
+func BenchmarkConcurrentQueryBatch(b *testing.B) {
+	qs := query.Regions(256, query.Extent1Pct, 3)
+	for _, shards := range []int{1, 16} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			tree := concurrentBenchTree(b, shards, qs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.SearchBatchCount(qs, 0); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -6,12 +6,20 @@
 #   2. go vet         the standard analyzer suite
 #   3. go build       the whole module compiles
 #   4. strlint        the repo's own static analyzer (internal/lint):
-#                     float ==, dropped storage errors, library panics,
-#                     loop-variable capture, cross-layer imports
+#                     float ==, dropped storage/query errors, library
+#                     panics, loop-variable capture, cross-layer imports
 #   5. go test        the full test suite (includes the invariant
 #                     verifier's corrupted-tree fixtures and the fuzz
 #                     seed corpora)
-#   6. go test -race  the concurrency-sensitive packages
+#   6. go test -race  the concurrency-sensitive packages: the buffer pool
+#                     (incl. the sharded pool's eviction hammer), the
+#                     packers, the batch executor, and the root package's
+#                     concurrent Search/SearchBatch tests
+#
+# The script is plain POSIX sh with no interactive steps, so CI runs it
+# verbatim (.github/workflows/ci.yml). It needs only a Go toolchain on
+# PATH matching go.mod's directive (go >= 1.22; developed and CI-tested
+# on go1.24).
 set -eu
 cd "$(dirname "$0")"
 
@@ -35,7 +43,8 @@ go run ./cmd/strlint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (buffer, pack)"
-go test -race ./internal/buffer/... ./internal/pack/...
+echo "== go test -race (buffer, pack, query, concurrent root tests)"
+go test -race ./internal/buffer/... ./internal/pack/... ./internal/query/...
+go test -race -run 'Concurrent|Batch|Sharded|View' .
 
 echo "All checks passed."

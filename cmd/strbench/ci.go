@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"strtree/internal/experiments"
+)
+
+// The -ci mode runs a fixed, fully deterministic slice of the experiment
+// suite and writes the results as JSON. CI commits one such report as
+// BENCH_BASELINE.json; every build regenerates BENCH_CI.json and compares.
+// All table cells are access counts or structural measures — never wall
+// time — so they must match the baseline exactly. Wall time is recorded
+// per experiment for observability and only fails the build when an
+// experiment gets an order of magnitude slower than the baseline, so
+// noisy shared runners don't flake the gate.
+
+// ciConfig is deliberately hardcoded: the baseline is only meaningful if
+// every run uses the same scale, query count and seed. It matches the
+// package benchmarks' reduced configuration.
+func ciConfig() experiments.Config {
+	return experiments.Config{Scale: 0.05, Queries: 100, Capacity: 100, Seed: 1}
+}
+
+// ciTimeTolerance is the factor by which an experiment's wall time may
+// exceed the baseline before the gate fails. Access counts are exact;
+// time is hardware-dependent, so the tolerance is generous.
+const ciTimeTolerance = 10
+
+// ciTimeFloor suppresses the wall-time check entirely for experiments the
+// baseline ran in under this duration: multiplicative tolerances are
+// meaningless at millisecond scale.
+const ciTimeFloor = 250 * time.Millisecond
+
+type ciReport struct {
+	// Go records the toolchain that produced the report (informational).
+	Go     string         `json:"go"`
+	Scale  float64        `json:"scale"`
+	Quers  int            `json:"queries"`
+	Seed   int64          `json:"seed"`
+	Tables []ciTableEntry `json:"tables"`
+}
+
+type ciTableEntry struct {
+	ID        string     `json:"id"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	ElapsedNs int64      `json:"elapsed_ns"`
+}
+
+// runCI executes every registered experiment under ciConfig, writes the
+// report to outPath, and — if baselinePath is non-empty — compares it
+// against the committed baseline, returning an error describing the first
+// drift found.
+func runCI(outPath, baselinePath string) error {
+	cfg := ciConfig()
+	report := ciReport{
+		Go:    runtime.Version(),
+		Scale: cfg.Scale,
+		Quers: cfg.Queries,
+		Seed:  cfg.Seed,
+	}
+	for _, id := range experiments.IDs() {
+		runner, ok := experiments.Lookup(id)
+		if !ok {
+			return fmt.Errorf("ci: experiment %q vanished from the registry", id)
+		}
+		start := time.Now()
+		table, err := runner(cfg)
+		if err != nil {
+			return fmt.Errorf("ci: %s: %w", id, err)
+		}
+		report.Tables = append(report.Tables, ciTableEntry{
+			ID:        id,
+			Header:    table.Header,
+			Rows:      table.Rows,
+			ElapsedNs: time.Since(start).Nanoseconds(),
+		})
+		fmt.Fprintf(os.Stderr, "ci: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ci: wrote %s (%d experiments)\n", outPath, len(report.Tables))
+
+	if baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("ci: reading baseline: %w", err)
+	}
+	var base ciReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("ci: parsing baseline %s: %w", baselinePath, err)
+	}
+	return compareCI(&base, &report)
+}
+
+// compareCI checks cur against base: identical experiment set, identical
+// headers, cell-for-cell identical rows, and wall time within tolerance.
+func compareCI(base, cur *ciReport) error {
+	//strlint:ignore floateq the scale is a literal constant round-tripped through JSON; config identity must be exact
+	if base.Scale != cur.Scale || base.Quers != cur.Quers || base.Seed != cur.Seed {
+		return fmt.Errorf("ci: baseline config (scale=%v queries=%d seed=%d) differs from current (scale=%v queries=%d seed=%d) — regenerate the baseline",
+			base.Scale, base.Quers, base.Seed, cur.Scale, cur.Quers, cur.Seed)
+	}
+	baseByID := make(map[string]*ciTableEntry, len(base.Tables))
+	for i := range base.Tables {
+		baseByID[base.Tables[i].ID] = &base.Tables[i]
+	}
+	for i := range cur.Tables {
+		c := &cur.Tables[i]
+		b, ok := baseByID[c.ID]
+		if !ok {
+			// A brand-new experiment has no baseline yet; report it so the
+			// author regenerates, but as guidance rather than silence.
+			fmt.Fprintf(os.Stderr, "ci: note: experiment %s has no baseline entry (regenerate BENCH_BASELINE.json)\n", c.ID)
+			continue
+		}
+		delete(baseByID, c.ID)
+		if err := compareTable(b, c); err != nil {
+			return err
+		}
+	}
+	for id := range baseByID {
+		return fmt.Errorf("ci: experiment %s is in the baseline but no longer runs", id)
+	}
+	fmt.Fprintln(os.Stderr, "ci: all experiments match the baseline")
+	return nil
+}
+
+func compareTable(b, c *ciTableEntry) error {
+	if len(b.Header) != len(c.Header) {
+		return fmt.Errorf("ci: %s: header has %d columns, baseline %d", c.ID, len(c.Header), len(b.Header))
+	}
+	for j := range b.Header {
+		if b.Header[j] != c.Header[j] {
+			return fmt.Errorf("ci: %s: column %d is %q, baseline %q", c.ID, j, c.Header[j], b.Header[j])
+		}
+	}
+	if len(b.Rows) != len(c.Rows) {
+		return fmt.Errorf("ci: %s: %d rows, baseline %d", c.ID, len(c.Rows), len(b.Rows))
+	}
+	for i := range b.Rows {
+		if len(b.Rows[i]) != len(c.Rows[i]) {
+			return fmt.Errorf("ci: %s row %d: %d cells, baseline %d", c.ID, i, len(c.Rows[i]), len(b.Rows[i]))
+		}
+		for j := range b.Rows[i] {
+			if b.Rows[i][j] != c.Rows[i][j] {
+				return fmt.Errorf("ci: %s row %d col %d (%s): got %q, baseline %q — access counts drifted",
+					c.ID, i, j, c.Header[j], c.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+	if bd := time.Duration(b.ElapsedNs); bd >= ciTimeFloor {
+		if cd := time.Duration(c.ElapsedNs); cd > bd*ciTimeTolerance {
+			return fmt.Errorf("ci: %s took %v, baseline %v (tolerance %dx)", c.ID, cd.Round(time.Millisecond), bd.Round(time.Millisecond), ciTimeTolerance)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"strtree"
+	"strtree/internal/datagen"
+	"strtree/internal/query"
+)
+
+// concurrencyConfig parameterizes the -concurrency mode: a packed tree
+// behind a sharded buffer, hammered by the paper's 1%-region workload
+// through Tree.SearchBatchCount at increasing worker counts.
+type concurrencyConfig struct {
+	Scale   float64 // fraction of the 100k-rectangle reference data set
+	Queries int     // queries per worker-count run
+	Seed    int64
+	Shards  int   // buffer shards (power of two)
+	Workers []int // worker counts to sweep
+}
+
+// parseWorkers parses the -workers flag ("1,2,4,8").
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return out, nil
+}
+
+// runConcurrency builds one tree and sweeps the worker counts, printing a
+// throughput/scaling table. The buffer is dropped cold before each run so
+// every worker count faces the same steady-state mix; access counts come
+// from the sharded buffer's aggregated stats.
+func runConcurrency(w io.Writer, cfg concurrencyConfig) error {
+	size := int(100000 * cfg.Scale)
+	if size < 20000 {
+		size = 20000
+	}
+	bufPages := size / 100 / 2 // roughly half the leaf level
+	if bufPages < 8*cfg.Shards {
+		bufPages = 8 * cfg.Shards
+	}
+	entries := datagen.UniformSquares(size, 5.0, cfg.Seed)
+	items := make([]strtree.Item, len(entries))
+	for i, e := range entries {
+		items[i] = strtree.Item{Rect: e.Rect, ID: e.Ref}
+	}
+	tree, err := strtree.New(strtree.Options{
+		Capacity:     100,
+		BufferPages:  bufPages,
+		BufferShards: cfg.Shards,
+	})
+	if err != nil {
+		return err
+	}
+	if err := tree.BulkLoad(items, strtree.PackSTR); err != nil {
+		return err
+	}
+	qs := query.Regions(cfg.Queries, query.Extent1Pct, cfg.Seed+1)
+
+	fmt.Fprintf(w, "== concurrent query serving: %d rects, %d buffer pages, %d shards, %d queries, GOMAXPROCS=%d ==\n",
+		size, bufPages, cfg.Shards, len(qs), runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workers\telapsed\tqueries/s\tspeedup\taccesses/query")
+	var base float64
+	for i, workers := range cfg.Workers {
+		if err := tree.DropCaches(); err != nil {
+			return err
+		}
+		tree.ResetStats()
+		start := time.Now()
+		if _, err := tree.SearchBatchCount(qs, workers); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		qps := float64(len(qs)) / elapsed.Seconds()
+		if i == 0 {
+			base = qps
+		}
+		acc := float64(tree.Stats().DiskReads) / float64(len(qs))
+		fmt.Fprintf(tw, "%d\t%v\t%.0f\t%.2fx\t%.2f\n",
+			workers, elapsed.Round(time.Microsecond), qps, qps/base, acc)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "   (speedup is relative to the first worker count; accesses/query from the aggregated shard stats)")
+	return nil
+}

@@ -4,12 +4,22 @@
 // Usage:
 //
 //	strbench [-exp table2,fig9|all] [-scale 0.2] [-queries 500] [-full] [-seed 1]
+//	strbench -concurrency [-workers 1,2,4,8] [-shards 8] [-scale 0.2] [-queries 500]
+//	strbench -ci BENCH_CI.json [-baseline BENCH_BASELINE.json]
 //
 // Each experiment prints the same rows the paper reports (figures are
 // emitted as their data series). By default the suite runs at one fifth of
 // the paper's data and buffer sizes so it finishes in minutes; -full uses
 // the paper's exact configuration (hundreds of millions of page requests —
 // expect a long run).
+//
+// -concurrency benchmarks the concurrent query path instead: it builds one
+// packed tree over a sharded buffer and sweeps the batch executor's worker
+// count, reporting throughput, scaling and accesses per query.
+//
+// -ci runs a fixed deterministic experiment slice and writes the results
+// as JSON; with -baseline it compares against a committed report and exits
+// non-zero on any access-count drift (see ci.go).
 package main
 
 import (
@@ -33,8 +43,43 @@ func main() {
 		jobs    = flag.Int("j", 1, "experiments to run concurrently")
 		trials  = flag.Int("trials", 1, "trials to average per experiment (different seeds)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
+
+		concurrency = flag.Bool("concurrency", false, "run the concurrent query benchmark instead of the paper suite")
+		workers     = flag.String("workers", "1,2,4,8", "worker counts to sweep in -concurrency mode (comma-separated)")
+		shards      = flag.Int("shards", 8, "buffer shards in -concurrency mode (power of two)")
+
+		ci       = flag.String("ci", "", "write a deterministic benchmark report (JSON) to this file and exit")
+		baseline = flag.String("baseline", "", "with -ci: compare the report against this baseline, exit 1 on drift")
 	)
 	flag.Parse()
+
+	if *ci != "" {
+		if err := runCI(*ci, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "strbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *concurrency {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "strbench: -workers: %v\n", err)
+			os.Exit(2)
+		}
+		err = runConcurrency(os.Stdout, concurrencyConfig{
+			Scale:   *scale,
+			Queries: *queries,
+			Seed:    *seed,
+			Shards:  *shards,
+			Workers: ws,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "strbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

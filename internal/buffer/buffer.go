@@ -187,6 +187,14 @@ func (p *Pool) Create() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.adopt(id)
+}
+
+// adopt pins a zeroed dirty frame for page id, which the caller just
+// allocated from the pager. It is Create minus the allocation, so a
+// Sharded pool can allocate centrally and hand the page to its owning
+// shard.
+func (p *Pool) adopt(id storage.PageID) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f, err := p.allocFrameLocked()

@@ -41,7 +41,7 @@ func TestLoadDemoModule(t *testing.T) {
 	if a.Module() != "demo" {
 		t.Fatalf("module = %q", a.Module())
 	}
-	want := []string{"", "internal/geom", "internal/storage", "internal/widget"}
+	want := []string{"", "internal/geom", "internal/query", "internal/storage", "internal/widget"}
 	got := a.Packages()
 	if len(got) != len(want) {
 		t.Fatalf("packages = %v, want %v", got, want)
@@ -59,7 +59,7 @@ func TestEveryCheckFires(t *testing.T) {
 	found := byCheck(runAll(t, loadDemo(t)))
 	wantCounts := map[string]int{
 		"floateq":     3, // two live in demo.go + one under the malformed directive
-		"droppederr":  3, // plain call, defer, encoding/binary
+		"droppederr":  5, // plain call, defer, encoding/binary, go call, goroutine body
 		"panics":      1, // widget.Explode only; Must*/init exempt
 		"loopcapture": 2, // goroutine capture + defer capture
 		"imports":     2, // geom->storage violation + widget missing from table
@@ -91,6 +91,7 @@ func TestFindingDetails(t *testing.T) {
 		"package internal/widget missing from the strlint layering table",
 		"error from internal/storage defer call p.Close is discarded",
 		"error from encoding/binary call binary.Write is discarded",
+		"error from internal/query go call ex.Run is discarded",
 		"malformed directive",
 		`unknown check "floatqe"`,
 	}

@@ -6,11 +6,16 @@ package lint
 
 // droppedErrTargets are the packages whose error returns must never be
 // silently discarded: the storage and buffer layers (a dropped error there
-// corrupts a persistent tree) and encoding/binary (a short read/write
-// yields a garbage page). Keys are module-relative paths or stdlib paths.
+// corrupts a persistent tree), encoding/binary (a short read/write yields
+// a garbage page), and the query layer (a batch executor's error carries a
+// worker's page-read failure — dropping it, especially on a `go` call,
+// silently truncates query results). Keys are module-relative paths or
+// stdlib paths. The check fires on plain, defer and go calls alike, and
+// inside goroutine bodies.
 var droppedErrTargets = map[string]bool{
 	"internal/storage": true,
 	"internal/buffer":  true,
+	"internal/query":   true,
 	"encoding/binary":  true,
 }
 
@@ -20,7 +25,8 @@ var droppedErrTargets = map[string]bool{
 // violation. The layering is strictly bottom-up:
 //
 //	geom, hilbert, storage, svg        (foundations: no internal imports)
-//	node, query, wkt, geojson          -> geom
+//	node, wkt, geojson                 -> geom
+//	query                              -> geom, node
 //	buffer, trace                      -> storage
 //	datagen, extsort                   -> geom, node
 //	pack                               -> extsort, geom, hilbert, node
@@ -39,7 +45,7 @@ var layerAllowed = map[string]map[string]bool{
 	"internal/svg":     {},
 	"internal/lint":    {},
 	"internal/node":    {"internal/geom": true},
-	"internal/query":   {"internal/geom": true},
+	"internal/query":   {"internal/geom": true, "internal/node": true},
 	"internal/wkt":     {"internal/geom": true},
 	"internal/geojson": {"internal/geom": true},
 	"internal/buffer":  {"internal/storage": true},
@@ -90,6 +96,7 @@ var layerAllowed = map[string]map[string]bool{
 		"internal/metrics":   true,
 		"internal/node":      true,
 		"internal/pack":      true,
+		"internal/query":     true,
 		"internal/rtree":     true,
 		"internal/storage":   true,
 	},

@@ -6,6 +6,7 @@ import (
 	"bytes"
 	"encoding/binary"
 
+	"demo/internal/query"
 	"demo/internal/storage"
 )
 
@@ -43,6 +44,29 @@ func DropAll(p *storage.Pager) {
 func DropIntended(p *storage.Pager) {
 	//strlint:ignore droppederr fixture: the error is deliberately dropped
 	p.Flush()
+}
+
+// DropBatch fires droppederr two more ways, both goroutine-shaped: a
+// batch executor fired off with a bare go statement (its error — a
+// worker's page-read failure — vanishes with the goroutine), and a
+// dropped error inside a goroutine body.
+func DropBatch(ex *query.Executor, p *storage.Pager) {
+	go ex.Run() // want droppederr
+	go func() {
+		p.Flush() // want droppederr
+	}()
+}
+
+// DropBatchHandled must not fire: both goroutines consume their errors.
+func DropBatchHandled(ex *query.Executor, errs chan<- error) {
+	go func() {
+		errs <- ex.Run()
+	}()
+	go func() {
+		if err := ex.Drain(); err != nil {
+			errs <- err
+		}
+	}()
 }
 
 // DropHandled must not fire: the error is consumed.

@@ -1,0 +1,13 @@
+// Package query mirrors the real module's batch-executor layer so the
+// droppederr fixture can discard its errors — including on bare go
+// statements, the failure mode that silently truncates query results.
+package query
+
+// Executor is a stand-in for the real batch executor.
+type Executor struct{}
+
+// Run pretends to fan a batch of queries across workers.
+func (e *Executor) Run() error { return nil }
+
+// Drain pretends to collect the workers' results.
+func (e *Executor) Drain() error { return nil }

@@ -1,0 +1,146 @@
+// Batch execution: a worker pool that fans a slice of window/point queries
+// across goroutines sharing one tree and one (ideally sharded) buffer.
+// This is the read-path counterpart of the parallel STR sort (pack.Workers):
+// queries, like the paper's packing partitions, are independent units of
+// work, so throughput scales with cores once the buffer stops serializing
+// them — the same "parallelize the independent partitions" idea the
+// MapReduce k-d-tree construction literature applies to spatial trees.
+package query
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+// SearchFunc runs one window query, streaming every matching entry to
+// emit; returning false from emit stops that query early. It must be safe
+// for concurrent use — a paged R-tree's Search through a pinned buffer is
+// (see rtree.Tree.Search).
+type SearchFunc func(q geom.Rect, emit func(e node.Entry) bool) error
+
+// BatchExecutor fans batches of queries across a fixed worker pool. The
+// zero value is not usable: Search must be set. One executor may run many
+// batches; it keeps no per-batch state.
+type BatchExecutor struct {
+	// Search executes a single query. Typically a closure over
+	// rtree.Tree.Search with the tree behind a sharded buffer.
+	Search SearchFunc
+	// Workers is the number of concurrent query goroutines; values < 1
+	// mean GOMAXPROCS. One worker executes the batch strictly
+	// sequentially, preserving deterministic buffer accounting.
+	Workers int
+}
+
+// workers resolves the pool size for one batch.
+func (e *BatchExecutor) workers(n int) int {
+	w := e.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every query and collects its matches, returned in input
+// order (results[i] holds query qs[i]'s matches; a query with no matches
+// gets a nil slice). Workers claim queries from a shared counter, so a
+// slow query does not idle the rest of the pool. The first error stops the
+// batch: remaining queries are abandoned, and the error — a page read
+// failure, typically — is propagated, never dropped.
+func (e *BatchExecutor) Run(qs []geom.Rect) ([][]node.Entry, error) {
+	results := make([][]node.Entry, len(qs))
+	err := e.run(qs, func(i int, q geom.Rect) error {
+		var out []node.Entry
+		if err := e.Search(q, func(ent node.Entry) bool {
+			ent.Rect = ent.Rect.Clone()
+			out = append(out, ent)
+			return true
+		}); err != nil {
+			return err
+		}
+		results[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunCount executes every query and returns per-query match counts in
+// input order, without materializing result sets — the shape the paper's
+// access-count experiments use.
+func (e *BatchExecutor) RunCount(qs []geom.Rect) ([]int, error) {
+	counts := make([]int, len(qs))
+	err := e.run(qs, func(i int, q geom.Rect) error {
+		n := 0
+		if err := e.Search(q, func(node.Entry) bool { n++; return true }); err != nil {
+			return err
+		}
+		counts[i] = n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// run drives the worker pool: an atomic cursor hands out query indices,
+// each worker writes only its own claimed slots, and the first error wins
+// and stops everyone. Distinct workers never touch the same index, so the
+// per-slot writes need no lock.
+func (e *BatchExecutor) run(qs []geom.Rect, do func(i int, q geom.Rect) error) error {
+	n := len(qs)
+	if n == 0 {
+		return nil
+	}
+	w := e.workers(n)
+	if w == 1 {
+		// Sequential fast path: no goroutines, deterministic fetch order.
+		for i, q := range qs {
+			if err := do(i, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor   atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := do(i, qs[i]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -68,12 +68,17 @@ type Config struct {
 	ForcedReinsert bool
 }
 
-// Tree is a paged R-tree. All page access goes through the buffer pool, so
-// the pool's DiskReads counter is exactly the paper's number of disk
-// accesses. A Tree is not safe for concurrent mutation; concurrent Search
-// calls are safe only through independent Trees sharing a pager.
+// Tree is a paged R-tree. All page access goes through the buffer manager,
+// so its DiskReads counter is exactly the paper's number of disk accesses.
+// A Tree is not safe for concurrent mutation. Concurrent Search calls on
+// one Tree are safe while no mutation runs: the read path touches only
+// immutable tree fields and the buffer manager, whose pin protocol keeps a
+// fetched page's bytes stable until release (node.Unmarshal then copies
+// them out). Use a sharded manager (buffer.Sharded) so concurrent readers
+// do not serialize behind one buffer mutex, or independent Trees sharing a
+// pager for fully separate buffer accounting.
 type Tree struct {
-	pool           *buffer.Pool
+	pool           buffer.Manager
 	dims           int
 	capacity       int
 	minFill        int
@@ -111,7 +116,7 @@ var (
 // Create initializes a new empty tree on the pool's pager. The pager must
 // be empty: the tree claims page 0 for its metadata. To place several
 // trees on one pager (each with its own meta page), use CreateAt.
-func Create(pool *buffer.Pool, cfg Config) (*Tree, error) {
+func Create(pool buffer.Manager, cfg Config) (*Tree, error) {
 	if pool.Pager().NumPages() != 0 {
 		return nil, fmt.Errorf("rtree: pager already holds %d pages", pool.Pager().NumPages())
 	}
@@ -122,7 +127,7 @@ func Create(pool *buffer.Pool, cfg Config) (*Tree, error) {
 // allocated from the pool's pager, wherever that lands. Callers (e.g. a
 // multi-layer catalog) record the returned tree's MetaPage to reopen it
 // later with OpenAt.
-func CreateAt(pool *buffer.Pool, cfg Config) (*Tree, error) {
+func CreateAt(pool buffer.Manager, cfg Config) (*Tree, error) {
 	if cfg.Dims <= 0 || cfg.Dims > 255 {
 		return nil, fmt.Errorf("rtree: invalid dims %d", cfg.Dims)
 	}
@@ -167,12 +172,12 @@ func CreateAt(pool *buffer.Pool, cfg Config) (*Tree, error) {
 
 // Open loads an existing tree whose meta page is page 0 (the single-tree
 // layout written by Create).
-func Open(pool *buffer.Pool) (*Tree, error) {
+func Open(pool buffer.Manager) (*Tree, error) {
 	return OpenAt(pool, 0)
 }
 
 // OpenAt loads an existing tree from the given meta page.
-func OpenAt(pool *buffer.Pool, metaPage storage.PageID) (*Tree, error) {
+func OpenAt(pool buffer.Manager, metaPage storage.PageID) (*Tree, error) {
 	if int(metaPage) >= pool.Pager().NumPages() {
 		return nil, fmt.Errorf("%w: meta page %d out of range", ErrBadMeta, metaPage)
 	}
@@ -275,9 +280,9 @@ func (t *Tree) Len() int { return int(t.count) }
 // Root returns the root page id, or storage.NilPage for an empty tree.
 func (t *Tree) Root() storage.PageID { return t.root }
 
-// Pool returns the tree's buffer pool, whose Stats carry the disk-access
-// counts the experiments report.
-func (t *Tree) Pool() *buffer.Pool { return t.pool }
+// Pool returns the tree's buffer manager, whose Stats carry the
+// disk-access counts the experiments report.
+func (t *Tree) Pool() buffer.Manager { return t.pool }
 
 // Flush writes all buffered dirty pages and the metadata to the pager.
 func (t *Tree) Flush() error {

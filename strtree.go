@@ -29,6 +29,7 @@ import (
 	"strtree/internal/metrics"
 	"strtree/internal/node"
 	"strtree/internal/pack"
+	"strtree/internal/query"
 	"strtree/internal/rtree"
 	"strtree/internal/storage"
 )
@@ -145,6 +146,16 @@ type Options struct {
 	PageSize int
 	// BufferPages is the LRU pool capacity in pages; 0 means 256.
 	BufferPages int
+	// BufferShards splits the LRU buffer into this power-of-two number of
+	// independently locked shards so concurrent queries (SearchBatch,
+	// Views, goroutines sharing the tree) stop serializing behind one
+	// buffer mutex. 0 or 1 keeps the single deterministic LRU whose miss
+	// counts reproduce the paper's tables; sharding changes eviction
+	// locality, so access counts under memory pressure can differ
+	// slightly. BufferPages must be at least BufferShards, and each
+	// shard's slice of the buffer must cover the worst-case concurrently
+	// pinned pages (one per querying goroutine).
+	BufferShards int
 	// Capacity caps entries per node (the paper's n); 0 fills the page.
 	Capacity int
 	// MinFill is the minimum entries per non-root node maintained by
@@ -187,12 +198,17 @@ type Metrics struct {
 	Nodes, LeafNodes          int
 }
 
-// Tree is a paged R-tree. It is safe for use from one goroutine; wrap it
-// with external synchronization to share it, or use View for concurrent
-// read-only access.
+// Tree is a paged R-tree. Mutations (Insert, Delete, BulkLoad) are safe
+// from one goroutine only; wrap the tree with NewSafe for mixed
+// read/write sharing. Read-only access is safe from many goroutines at
+// once while no mutation runs — Search and friends touch only immutable
+// tree state and the buffer, whose pin protocol keeps every fetched page
+// stable until released. For parallel read throughput set
+// Options.BufferShards and use SearchBatch, or give each goroutine its
+// own View.
 type Tree struct {
 	inner    *rtree.Tree
-	pool     *buffer.Pool
+	pool     buffer.Manager
 	pager    storage.Pager
 	readonly bool
 	// shared trees (views, layers) do not own the pager; Close releases
@@ -224,8 +240,20 @@ func Create(path string, opts Options) (*Tree, error) {
 	return t, nil
 }
 
+// newBuffer builds the tree's buffer manager per opts: a single
+// deterministic LRU by default, a sharded one when BufferShards > 1.
+func newBuffer(pg storage.Pager, opts Options) (buffer.Manager, error) {
+	if opts.BufferShards > 1 {
+		return buffer.NewSharded(pg, opts.BufferPages, opts.BufferShards)
+	}
+	return buffer.NewPool(pg, opts.BufferPages), nil
+}
+
 func create(pg storage.Pager, opts Options) (*Tree, error) {
-	pool := buffer.NewPool(pg, opts.BufferPages)
+	pool, err := newBuffer(pg, opts)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := rtree.Create(pool, rtree.Config{
 		Dims:           opts.Dims,
 		Capacity:       opts.Capacity,
@@ -239,16 +267,19 @@ func create(pg storage.Pager, opts Options) (*Tree, error) {
 	return &Tree{inner: inner, pool: pool, pager: pg}, nil
 }
 
-// Open opens a tree previously written with Create. Only PageSize and
-// BufferPages from opts are used; structural parameters come from the
-// file.
+// Open opens a tree previously written with Create. Only PageSize,
+// BufferPages and BufferShards from opts are used; structural parameters
+// come from the file.
 func Open(path string, opts Options) (*Tree, error) {
 	opts = opts.withDefaults()
 	pg, err := storage.OpenFilePager(path, opts.PageSize)
 	if err != nil {
 		return nil, err
 	}
-	pool := buffer.NewPool(pg, opts.BufferPages)
+	pool, err := newBuffer(pg, opts)
+	if err != nil {
+		return nil, errors.Join(err, pg.Close())
+	}
 	inner, err := rtree.Open(pool)
 	if err != nil {
 		return nil, errors.Join(err, pg.Close())
@@ -303,6 +334,50 @@ func (t *Tree) Search(q Rect, fn func(Item) bool) error {
 // SearchPoint streams every item whose rectangle contains p.
 func (t *Tree) SearchPoint(p Point, fn func(Item) bool) error {
 	return t.Search(geom.PointRect(p), fn)
+}
+
+// batchExecutor builds the worker pool for one batch call.
+func (t *Tree) batchExecutor(workers int) *query.BatchExecutor {
+	return &query.BatchExecutor{
+		Workers: workers,
+		Search:  t.inner.Search,
+	}
+}
+
+// SearchBatch executes qs concurrently across a pool of workers sharing
+// this tree's buffer and returns each query's matches in input order.
+// workers < 1 means GOMAXPROCS; workers == 1 runs sequentially with the
+// deterministic buffer accounting of a plain Search loop. The batch is
+// safe while no goroutine mutates the tree; for parallel speed-up open
+// the tree with Options.BufferShards > 1, otherwise workers serialize on
+// the single buffer mutex. The first page-read error aborts the batch and
+// is returned. Merged access statistics accumulate in Stats, aggregated
+// across all workers and buffer shards.
+func (t *Tree) SearchBatch(qs []Rect, workers int) ([][]Item, error) {
+	res, err := t.batchExecutor(workers).Run(qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Item, len(res))
+	for i, entries := range res {
+		if entries == nil {
+			continue
+		}
+		items := make([]Item, len(entries))
+		for j, e := range entries {
+			items[j] = Item{Rect: e.Rect, ID: e.Ref}
+		}
+		out[i] = items
+	}
+	return out, nil
+}
+
+// SearchBatchCount is SearchBatch without materializing matches: it
+// returns each query's intersection count in input order. This is the
+// shape the paper's access-count experiments (and cmd/strbench
+// -concurrency) use.
+func (t *Tree) SearchBatchCount(qs []Rect, workers int) ([]int, error) {
+	return t.batchExecutor(workers).RunCount(qs)
 }
 
 // Count returns the number of items intersecting q.
