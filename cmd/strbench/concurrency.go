@@ -11,6 +11,7 @@ import (
 
 	"strtree"
 	"strtree/internal/datagen"
+	"strtree/internal/histo"
 	"strtree/internal/query"
 )
 
@@ -75,15 +76,20 @@ func runConcurrency(w io.Writer, cfg concurrencyConfig) error {
 	fmt.Fprintf(w, "== concurrent query serving: %d rects, %d buffer pages, %d shards, %d queries, GOMAXPROCS=%d ==\n",
 		size, bufPages, cfg.Shards, len(qs), runtime.GOMAXPROCS(0))
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workers\telapsed\tqueries/s\tspeedup\taccesses/query")
+	fmt.Fprintln(tw, "workers\telapsed\tqueries/s\tspeedup\taccesses/query\tp50\tp95\tp99")
 	var base float64
+	var lat histo.Histogram
 	for i, workers := range cfg.Workers {
 		if err := tree.DropCaches(); err != nil {
 			return err
 		}
 		tree.ResetStats()
+		lat.Reset()
 		start := time.Now()
-		if _, err := tree.SearchBatchCount(qs, workers); err != nil {
+		_, err := tree.SearchBatchCountTimed(qs, workers, func(_ int, d time.Duration) {
+			lat.Observe(d)
+		})
+		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
@@ -92,12 +98,17 @@ func runConcurrency(w io.Writer, cfg concurrencyConfig) error {
 			base = qps
 		}
 		acc := float64(tree.Stats().DiskReads) / float64(len(qs))
-		fmt.Fprintf(tw, "%d\t%v\t%.0f\t%.2fx\t%.2f\n",
-			workers, elapsed.Round(time.Microsecond), qps, qps/base, acc)
+		sum := lat.Summarize()
+		fmt.Fprintf(tw, "%d\t%v\t%.0f\t%.2fx\t%.2f\t%v\t%v\t%v\n",
+			workers, elapsed.Round(time.Microsecond), qps, qps/base, acc,
+			time.Duration(sum.P50).Round(time.Microsecond),
+			time.Duration(sum.P95).Round(time.Microsecond),
+			time.Duration(sum.P99).Round(time.Microsecond))
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "   (speedup is relative to the first worker count; accesses/query from the aggregated shard stats)")
+	fmt.Fprintln(w, "   (speedup is relative to the first worker count; accesses/query from the aggregated shard stats;")
+	fmt.Fprintln(w, "    percentiles are per-query wall times from a log-bucketed histogram, <=12.5% relative error)")
 	return nil
 }

@@ -1,0 +1,224 @@
+// Command strserve serves queries against a packed STR-tree index file
+// over TCP, using the wire protocol in internal/server/wire.
+//
+// Usage:
+//
+//	strserve -idx index.str [-addr :7070] [-buffer 256] [-shards 8]
+//	         [-max-inflight 64] [-timeout 5s] [-drain-timeout 10s]
+//	strserve -query x0,y0,x1,y1 [-addr host:7070]
+//	strserve -count x0,y0,x1,y1 [-addr host:7070]
+//	strserve -stats [-addr host:7070]
+//	strserve -selftest [-clients 32] [-queries 200] [-size 20000]
+//
+// The serving mode runs until SIGTERM or SIGINT, then drains gracefully:
+// it stops accepting connections, refuses new requests, finishes
+// in-flight queries under -drain-timeout, and closes the index. -query,
+// -count and -stats are one-shot clients against a running server (used
+// by CI's loopback smoke test). -selftest runs an in-process
+// server-plus-clients load harness and reports throughput and latency
+// percentiles.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"strtree"
+	"strtree/internal/server"
+)
+
+func main() {
+	var (
+		idx          = flag.String("idx", "", "index file to serve")
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen (or connect) address")
+		bufPages     = flag.Int("buffer", 256, "buffer pool pages")
+		shards       = flag.Int("shards", 8, "buffer pool shards (1 = single deterministic LRU)")
+		maxInFlight  = flag.Int("max-inflight", 64, "admission cap on concurrently executing requests")
+		timeout      = flag.Duration("timeout", 5*time.Second, "default per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+
+		queryRect = flag.String("query", "", "one-shot client: search rectangle x0,y0,x1,y1")
+		countRect = flag.String("count", "", "one-shot client: count matches of rectangle x0,y0,x1,y1")
+		stats     = flag.Bool("stats", false, "one-shot client: print server stats")
+
+		selftest = flag.Bool("selftest", false, "run the in-process load harness and exit")
+		clients  = flag.Int("clients", 32, "selftest: concurrent clients")
+		queries  = flag.Int("queries", 200, "selftest: queries per client")
+		size     = flag.Int("size", 20000, "selftest: indexed items")
+		seed     = flag.Int64("seed", 1, "selftest: data and workload seed")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *selftest:
+		err = server.Selftest(os.Stdout, server.SelftestConfig{
+			Clients:          *clients,
+			QueriesPerClient: *queries,
+			Size:             *size,
+			Shards:           *shards,
+			Seed:             *seed,
+		})
+	case *queryRect != "":
+		err = runClientQuery(*addr, *queryRect, false)
+	case *countRect != "":
+		err = runClientQuery(*addr, *countRect, true)
+	case *stats:
+		err = runClientStats(*addr)
+	case *idx != "":
+		err = serve(*idx, *addr, serveConfig{
+			bufPages:     *bufPages,
+			shards:       *shards,
+			maxInFlight:  *maxInFlight,
+			timeout:      *timeout,
+			drainTimeout: *drainTimeout,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "usage: strserve -idx index.str | -query rect | -count rect | -stats | -selftest")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type serveConfig struct {
+	bufPages     int
+	shards       int
+	maxInFlight  int
+	timeout      time.Duration
+	drainTimeout time.Duration
+}
+
+// serve opens the index read-only-shaped (queries only) and runs the
+// server until a termination signal starts the drain.
+func serve(idx, addr string, cfg serveConfig) error {
+	tree, err := strtree.Open(idx, strtree.Options{
+		BufferPages:  cfg.bufPages,
+		BufferShards: cfg.shards,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(tree, server.Config{
+		MaxInFlight:    cfg.maxInFlight,
+		DefaultTimeout: cfg.timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = tree.Close()
+		return err
+	}
+	fmt.Printf("strserve: serving %s (%d items, height %d) on %s\n",
+		idx, tree.Len(), tree.Height(), ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("strserve: %v: draining (up to %v)\n", sig, cfg.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		drainErr := srv.Shutdown(ctx)
+		if err := <-serveErr; err != nil {
+			return err
+		}
+		if err := tree.Close(); err != nil {
+			return err
+		}
+		if drainErr != nil {
+			return fmt.Errorf("drain: %w", drainErr)
+		}
+		fmt.Println("strserve: drained cleanly")
+		return nil
+	case err := <-serveErr:
+		closeErr := tree.Close()
+		if err != nil {
+			return err
+		}
+		return closeErr
+	}
+}
+
+// runClientQuery runs one window query against a running server.
+func runClientQuery(addr, rect string, countOnly bool) error {
+	q, err := parseRect(rect)
+	if err != nil {
+		return err
+	}
+	cl := server.Dial(addr)
+	defer func() { _ = cl.Close() }()
+	if countOnly {
+		n, err := cl.Count(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+		return nil
+	}
+	items, err := cl.Search(q)
+	if err != nil {
+		return err
+	}
+	for _, it := range items {
+		fmt.Printf("%d\t%v\n", it.ID, it.Rect)
+	}
+	fmt.Printf("# %d results\n", len(items))
+	return nil
+}
+
+// runClientStats fetches and prints a running server's stats snapshot.
+func runClientStats(addr string) error {
+	cl := server.Dial(addr)
+	defer func() { _ = cl.Close() }()
+	st, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("in-flight:     %d\n", st.InFlight)
+	fmt.Printf("accepted:      %d\n", st.Accepted)
+	fmt.Printf("rejected:      %d\n", st.Rejected)
+	fmt.Printf("completed:     %d\n", st.Completed)
+	fmt.Printf("timed out:     %d\n", st.TimedOut)
+	fmt.Printf("failed:        %d\n", st.Failed)
+	fmt.Printf("draining:      %v\n", st.Draining)
+	fmt.Printf("logical reads: %d\n", st.LogicalReads)
+	fmt.Printf("disk reads:    %d\n", st.DiskReads)
+	fmt.Printf("latency:       p50 %v  p95 %v  p99 %v  max %v (%d reqs)\n",
+		time.Duration(st.Latency.P50), time.Duration(st.Latency.P95),
+		time.Duration(st.Latency.P99), time.Duration(st.Latency.Max),
+		st.Latency.Count)
+	return nil
+}
+
+func parseRect(s string) (strtree.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return strtree.Rect{}, fmt.Errorf("rect %q: want x0,y0,x1,y1", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return strtree.Rect{}, fmt.Errorf("rect %q: %w", s, err)
+		}
+		v[i] = f
+	}
+	return strtree.NewRect(strtree.Pt2(v[0], v[1]), strtree.Pt2(v[2], v[3]))
+}

@@ -41,7 +41,7 @@ func TestLoadDemoModule(t *testing.T) {
 	if a.Module() != "demo" {
 		t.Fatalf("module = %q", a.Module())
 	}
-	want := []string{"", "internal/geom", "internal/query", "internal/storage", "internal/widget"}
+	want := []string{"", "internal/geom", "internal/query", "internal/server", "internal/storage", "internal/widget"}
 	got := a.Packages()
 	if len(got) != len(want) {
 		t.Fatalf("packages = %v, want %v", got, want)
@@ -59,7 +59,7 @@ func TestEveryCheckFires(t *testing.T) {
 	found := byCheck(runAll(t, loadDemo(t)))
 	wantCounts := map[string]int{
 		"floateq":     3, // two live in demo.go + one under the malformed directive
-		"droppederr":  5, // plain call, defer, encoding/binary, go call, goroutine body
+		"droppederr":  6, // plain call, defer, encoding/binary, go call, goroutine body, intra-package call
 		"panics":      1, // widget.Explode only; Must*/init exempt
 		"loopcapture": 2, // goroutine capture + defer capture
 		"imports":     2, // geom->storage violation + widget missing from table
@@ -92,6 +92,7 @@ func TestFindingDetails(t *testing.T) {
 		"error from internal/storage defer call p.Close is discarded",
 		"error from encoding/binary call binary.Write is discarded",
 		"error from internal/query go call ex.Run is discarded",
+		"error from internal/server call Shutdown is discarded",
 		"malformed directive",
 		`unknown check "floatqe"`,
 	}

@@ -7,15 +7,18 @@ package lint
 // droppedErrTargets are the packages whose error returns must never be
 // silently discarded: the storage and buffer layers (a dropped error there
 // corrupts a persistent tree), encoding/binary (a short read/write yields
-// a garbage page), and the query layer (a batch executor's error carries a
+// a garbage page), the query layer (a batch executor's error carries a
 // worker's page-read failure — dropping it, especially on a `go` call,
-// silently truncates query results). Keys are module-relative paths or
-// stdlib paths. The check fires on plain, defer and go calls alike, and
-// inside goroutine bodies.
+// silently truncates query results), and the serving layer (a dropped
+// drain or shutdown error hides requests that were cut off mid-response).
+// Keys are module-relative paths or stdlib paths. The check fires on
+// plain, defer and go calls alike, and inside goroutine bodies — including
+// a target package's calls to its own functions.
 var droppedErrTargets = map[string]bool{
 	"internal/storage": true,
 	"internal/buffer":  true,
 	"internal/query":   true,
+	"internal/server":  true,
 	"encoding/binary":  true,
 }
 
@@ -24,8 +27,8 @@ var droppedErrTargets = map[string]bool{
 // may import ("" is the root strtree package). Anything else is a layering
 // violation. The layering is strictly bottom-up:
 //
-//	geom, hilbert, storage, svg        (foundations: no internal imports)
-//	node, wkt, geojson                 -> geom
+//	geom, hilbert, storage, svg, histo (foundations: no internal imports)
+//	node, wkt, geojson, server/wire    -> geom
 //	query                              -> geom, node
 //	buffer, trace                      -> storage
 //	datagen, extsort                   -> geom, node
@@ -34,7 +37,13 @@ var droppedErrTargets = map[string]bool{
 //	metrics, invariant                 -> rtree and below
 //	experiments                        -> everything below
 //	strtree (root)                     -> the public surface's needs
+//	server                             -> strtree root, geom, histo, query, server/wire
 //	lint                               (standalone: no internal imports)
+//
+// internal/server is the one internal package that sits ABOVE the root:
+// it serves the public Tree API over the network, so it imports strtree
+// itself. That is safe (the root never imports it back) and keeps the
+// serving layer off the paper-reproduction core's dependency graph.
 //
 // Commands (cmd/*) and examples are deliberately unconstrained: they are
 // leaves that may wire any layers together.
@@ -44,6 +53,7 @@ var layerAllowed = map[string]map[string]bool{
 	"internal/storage": {},
 	"internal/svg":     {},
 	"internal/lint":    {},
+	"internal/histo":   {},
 	"internal/node":    {"internal/geom": true},
 	"internal/query":   {"internal/geom": true, "internal/node": true},
 	"internal/wkt":     {"internal/geom": true},
@@ -88,6 +98,14 @@ var layerAllowed = map[string]map[string]bool{
 		"internal/rtree":   true,
 		"internal/storage": true,
 		"internal/trace":   true,
+	},
+	"internal/server/wire": {"internal/geom": true},
+	"internal/server": {
+		"":                     true, // the root strtree package: the served API
+		"internal/geom":        true,
+		"internal/histo":       true,
+		"internal/query":       true,
+		"internal/server/wire": true,
 	},
 	"": { // the root strtree package
 		"internal/buffer":    true,

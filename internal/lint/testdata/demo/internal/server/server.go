@@ -1,0 +1,24 @@
+// Package server fixtures the droppederr check's intra-package rule:
+// internal/server is itself a droppederr target, so even its own calls
+// to its own functions must not discard errors.
+package server
+
+import "errors"
+
+// Shutdown returns an error the caller must not drop.
+func Shutdown() error { return errors.New("requests cut off mid-response") }
+
+// Exit drops its own package's shutdown error on the floor.
+func Exit() {
+	Shutdown() // want droppederr
+}
+
+// ExitHandled must not fire: the error is consumed.
+func ExitHandled() error {
+	return Shutdown()
+}
+
+// ExitIntended must not fire: the discard is explicit.
+func ExitIntended() {
+	_ = Shutdown()
+}

@@ -8,9 +8,11 @@
 package query
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
@@ -33,6 +35,12 @@ type BatchExecutor struct {
 	// mean GOMAXPROCS. One worker executes the batch strictly
 	// sequentially, preserving deterministic buffer accounting.
 	Workers int
+	// Observe, when non-nil, receives each query's index and wall-clock
+	// latency as it completes. With more than one worker it is called
+	// concurrently and must be safe for concurrent use. Latency-histogram
+	// consumers (strbench -concurrency, the serving layer's selftest)
+	// hang their percentile accounting here.
+	Observe func(i int, d time.Duration)
 }
 
 // workers resolves the pool size for one batch.
@@ -55,7 +63,8 @@ func (e *BatchExecutor) workers(n int) int {
 // gets a nil slice). Workers claim queries from a shared counter, so a
 // slow query does not idle the rest of the pool. The first error stops the
 // batch: remaining queries are abandoned, and the error — a page read
-// failure, typically — is propagated, never dropped.
+// failure, typically — is propagated, never dropped, wrapped as
+// "query %d: ..." so logs can identify the offending request.
 func (e *BatchExecutor) Run(qs []geom.Rect) ([][]node.Entry, error) {
 	results := make([][]node.Entry, len(qs))
 	err := e.run(qs, func(i int, q geom.Rect) error {
@@ -98,18 +107,28 @@ func (e *BatchExecutor) RunCount(qs []geom.Rect) ([]int, error) {
 // run drives the worker pool: an atomic cursor hands out query indices,
 // each worker writes only its own claimed slots, and the first error wins
 // and stops everyone. Distinct workers never touch the same index, so the
-// per-slot writes need no lock.
+// per-slot writes need no lock. Errors are wrapped with the failing
+// query's index ("query %d: ...") — errors.Is/As still reach the cause.
 func (e *BatchExecutor) run(qs []geom.Rect, do func(i int, q geom.Rect) error) error {
 	n := len(qs)
 	if n == 0 {
 		return nil
+	}
+	if e.Observe != nil {
+		inner := do
+		do = func(i int, q geom.Rect) error {
+			start := time.Now()
+			err := inner(i, q)
+			e.Observe(i, time.Since(start))
+			return err
+		}
 	}
 	w := e.workers(n)
 	if w == 1 {
 		// Sequential fast path: no goroutines, deterministic fetch order.
 		for i, q := range qs {
 			if err := do(i, q); err != nil {
-				return err
+				return fmt.Errorf("query %d: %w", i, err)
 			}
 		}
 		return nil
@@ -135,7 +154,7 @@ func (e *BatchExecutor) run(qs []geom.Rect, do func(i int, q geom.Rect) error) e
 					return
 				}
 				if err := do(i, qs[i]); err != nil {
-					fail(err)
+					fail(fmt.Errorf("query %d: %w", i, err))
 					return
 				}
 			}

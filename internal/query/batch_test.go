@@ -3,8 +3,10 @@ package query
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
@@ -139,6 +141,66 @@ func TestBatchErrorPropagates(t *testing.T) {
 		calls.Store(0)
 		if _, err := ex.RunCount(qs); !errors.Is(err, sentinel) {
 			t.Fatalf("workers=%d: RunCount err = %v, want sentinel", workers, err)
+		}
+	}
+}
+
+// TestBatchErrorCarriesQueryIndex pins the first-error-wins wrapping: the
+// returned error names the failing query's index ("query %d: ...") so
+// server logs can identify the offending request, on both the sequential
+// fast path and the worker-pool path.
+func TestBatchErrorCarriesQueryIndex(t *testing.T) {
+	sentinel := errors.New("page read failed")
+	qs := Points(10, 19)
+	for _, workers := range []int{1, 4} {
+		ex := BatchExecutor{
+			Workers: workers,
+			Search: func(q geom.Rect, emit func(node.Entry) bool) error {
+				if q.Equal(qs[7]) {
+					return sentinel
+				}
+				return nil
+			},
+		}
+		_, err := ex.Run(qs)
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		if !strings.Contains(err.Error(), "query 7:") {
+			t.Fatalf("workers=%d: err %q does not name query 7", workers, err)
+		}
+	}
+}
+
+// TestBatchObserve checks the latency hook fires exactly once per query
+// with its index, on both execution paths.
+func TestBatchObserve(t *testing.T) {
+	items := grid(4)
+	qs := Regions(50, 0.3, 23)
+	for _, workers := range []int{1, 4} {
+		var seen [50]atomic.Int64
+		var total atomic.Int64
+		ex := BatchExecutor{
+			Workers: workers,
+			Search:  bruteSearch(items),
+			Observe: func(i int, d time.Duration) {
+				seen[i].Add(1)
+				total.Add(1)
+				if d < 0 {
+					t.Errorf("negative latency for query %d", i)
+				}
+			},
+		}
+		if _, err := ex.RunCount(qs); err != nil {
+			t.Fatal(err)
+		}
+		if total.Load() != int64(len(qs)) {
+			t.Fatalf("workers=%d: %d observations for %d queries", workers, total.Load(), len(qs))
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: query %d observed %d times", workers, i, seen[i].Load())
+			}
 		}
 	}
 }

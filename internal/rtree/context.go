@@ -1,0 +1,126 @@
+// Context-aware query entry points. The serving layer (internal/server)
+// enforces per-request deadlines by threading a context into query
+// execution; these variants check the context once per node visit, so a
+// cancelled or expired request stops within one page fetch instead of
+// running its traversal to completion. The context-free methods in
+// search.go and nearest.go stay untouched: the paper-reproduction
+// experiments keep their exact call paths and access accounting.
+package rtree
+
+import (
+	"container/heap"
+	"context"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// SearchContext is Search with cooperative cancellation: ctx is consulted
+// before every node read, and its error — context.Canceled or
+// context.DeadlineExceeded — is returned as soon as it is observed.
+// Matches already emitted stay emitted; the traversal simply stops.
+func (t *Tree) SearchContext(ctx context.Context, q geom.Rect, fn func(e node.Entry) bool) error {
+	if err := t.checkEntry(q); err != nil {
+		return err
+	}
+	if t.height == 0 {
+		return ctx.Err()
+	}
+	_, err := t.searchCtx(ctx, t.root, q, fn)
+	return err
+}
+
+// searchCtx mirrors search (search.go) plus the per-node context check.
+func (t *Tree) searchCtx(ctx context.Context, id storage.PageID, q geom.Rect, fn func(node.Entry) bool) (more bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	var n node.Node
+	if err := t.readNode(id, &n); err != nil {
+		return false, err
+	}
+	if n.IsLeaf() {
+		for _, e := range n.Entries {
+			if !q.Intersects(e.Rect) {
+				continue
+			}
+			if !fn(e) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, e := range n.Entries {
+		if !q.Intersects(e.Rect) {
+			continue
+		}
+		more, err := t.searchCtx(ctx, storage.PageID(e.Ref), q, fn)
+		if err != nil || !more {
+			return more, err
+		}
+	}
+	return true, nil
+}
+
+// CountContext is Count under a context.
+func (t *Tree) CountContext(ctx context.Context, q geom.Rect) (int, error) {
+	n := 0
+	err := t.SearchContext(ctx, q, func(node.Entry) bool { n++; return true })
+	return n, err
+}
+
+// NearestContext is Nearest with cooperative cancellation, checked once
+// per priority-queue pop — i.e. at least once per node read.
+func (t *Tree) NearestContext(ctx context.Context, p geom.Point, fn func(e node.Entry, dist float64) bool) error {
+	if len(p) != t.dims {
+		return t.checkEntry(geom.PointRect(p)) // produces the dimension error
+	}
+	if t.height == 0 {
+		return ctx.Err()
+	}
+	pq := &distQueue{}
+	heap.Push(pq, distItem{dist: 0, page: t.root, isNode: true})
+	var n node.Node
+	for pq.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it := heap.Pop(pq).(distItem)
+		if !it.isNode {
+			if !fn(it.entry, it.dist) {
+				return nil
+			}
+			continue
+		}
+		if err := t.readNode(it.page, &n); err != nil {
+			return err
+		}
+		for _, e := range n.Entries {
+			d := minDist(p, e.Rect)
+			if n.IsLeaf() {
+				// Deep-copy the rectangle: n's entry storage is reused by
+				// the next readNode.
+				heap.Push(pq, distItem{dist: d, entry: node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref}, isNode: false})
+			} else {
+				heap.Push(pq, distItem{dist: d, page: storage.PageID(e.Ref), isNode: true})
+			}
+		}
+	}
+	return nil
+}
+
+// NearestKContext collects the k nearest entries to p under a context.
+func (t *Tree) NearestKContext(ctx context.Context, p geom.Point, k int) ([]node.Entry, []float64, error) {
+	if k <= 0 {
+		return nil, nil, nil
+	}
+	entries := make([]node.Entry, 0, k)
+	dists := make([]float64, 0, k)
+	err := t.NearestContext(ctx, p, func(e node.Entry, d float64) bool {
+		entries = append(entries, e)
+		dists = append(dists, d)
+		return len(entries) < k
+	})
+	return entries, dists, err
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"strtree/internal/geom"
+	"strtree/internal/server/wire"
+)
+
+// Client-side errors mapped from response statuses. A transport-level
+// failure (dial, read, write) surfaces as-is; these sentinels cover the
+// in-band refusals so callers can branch with errors.Is.
+var (
+	// ErrOverloaded means admission control rejected the request; the
+	// connection stays usable — back off and retry.
+	ErrOverloaded = errors.New("strserve: server overloaded")
+	// ErrDraining means the server is shutting down and took no work.
+	ErrDraining = errors.New("strserve: server draining")
+	// ErrDeadline means the per-request deadline expired server-side.
+	ErrDeadline = errors.New("strserve: deadline exceeded")
+	// ErrBadRequest means the server rejected the request as malformed.
+	ErrBadRequest = errors.New("strserve: bad request")
+)
+
+// Client speaks the wire protocol to one strserve server over a single
+// reused TCP connection, redialing transparently after transport
+// failures. Methods are safe for concurrent use; requests serialize on
+// the connection (the protocol is strictly request/response, so one
+// socket carries one request at a time).
+type Client struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	timeout time.Duration // per-request deadline sent to the server; 0 = server default
+	inBuf   []byte
+	outBuf  []byte
+}
+
+// Dial creates a client for the server at addr. The connection is
+// established lazily on first use and reused across requests.
+func Dial(addr string) *Client {
+	return &Client{addr: addr}
+}
+
+// SetRequestTimeout sets the per-request deadline sent with subsequent
+// requests; zero restores the server's default.
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Close drops the connection. The client remains usable: the next
+// request redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropLocked()
+}
+
+func (c *Client) dropLocked() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.br = nil
+	return err
+}
+
+func (c *Client) connectLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	return nil
+}
+
+// roundTrip sends one request and decodes the response, holding the
+// connection for the duration. Transport errors drop the connection so
+// the next call redials; in-band refusals keep it per the protocol
+// (overloaded keeps the connection, draining and bad-request close it
+// server-side, so those drop too).
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.TimeoutMillis == 0 && c.timeout > 0 {
+		req.TimeoutMillis = uint32(c.timeout / time.Millisecond)
+		if req.TimeoutMillis == 0 {
+			req.TimeoutMillis = 1
+		}
+	}
+	payload, err := wire.AppendRequest(c.outBuf[:0], req)
+	if err != nil {
+		return nil, err
+	}
+	c.outBuf = payload
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(c.conn, payload); err != nil {
+		_ = c.dropLocked()
+		return nil, err
+	}
+	frame, err := wire.ReadFrame(c.br, c.inBuf)
+	if err != nil {
+		_ = c.dropLocked()
+		return nil, err
+	}
+	c.inBuf = frame
+	resp, err := wire.ParseResponse(frame)
+	if err != nil {
+		_ = c.dropLocked()
+		return nil, err
+	}
+	if resp.Op != req.Op {
+		_ = c.dropLocked()
+		return nil, fmt.Errorf("strserve: response op %v for %v request", resp.Op, req.Op)
+	}
+	if serr := statusErr(resp); serr != nil {
+		if resp.Status == wire.StatusDraining || resp.Status == wire.StatusBadRequest {
+			_ = c.dropLocked()
+		}
+		return nil, serr
+	}
+	return resp, nil
+}
+
+// statusErr maps a non-OK response to its sentinel error.
+func statusErr(resp *wire.Response) error {
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusOverloaded:
+		return ErrOverloaded
+	case wire.StatusDraining:
+		return ErrDraining
+	case wire.StatusDeadline:
+		return ErrDeadline
+	case wire.StatusBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadRequest, resp.Err)
+	default:
+		return fmt.Errorf("strserve: server error: %s", resp.Err)
+	}
+}
+
+// Search returns every indexed item intersecting q.
+func (c *Client) Search(q geom.Rect) ([]wire.Item, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpSearch, Query: q})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// SearchPoint returns every indexed item containing p.
+func (c *Client) SearchPoint(p geom.Point) ([]wire.Item, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpSearchPoint, Point: p})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// Count returns the number of indexed items intersecting q.
+func (c *Client) Count(q geom.Rect) (uint64, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpCount, Query: q})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Nearest returns the k nearest indexed items to p with distances.
+func (c *Client) Nearest(p geom.Point, k int) ([]wire.Neighbor, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpNearest, Point: p, K: uint32(k)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// Batch runs many window queries in one round trip, results in input
+// order.
+func (c *Client) Batch(qs []geom.Rect) ([][]wire.Item, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpBatch, Batch: qs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batch, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (wire.Stats, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	return resp.Stats, nil
+}

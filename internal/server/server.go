@@ -1,0 +1,504 @@
+// Package server is strserve's network query-serving subsystem: a
+// stdlib-only TCP server that puts a packed tree behind a socket for many
+// independent clients — the regime the paper's LRU-buffer experiments
+// simulate (Sections 3–4), where STR packing's fewer disk accesses per
+// query pay off across heavy concurrent traffic.
+//
+// The server is production-shaped rather than a demo:
+//
+//   - one goroutine per connection, requests on a connection served in
+//     order, connections served concurrently;
+//   - admission control: a bounded semaphore caps in-flight requests, and
+//     a request past the cap fast-fails with StatusOverloaded instead of
+//     queueing unboundedly;
+//   - per-request deadlines: each request's timeout (its own, else the
+//     server default, capped at the server maximum) becomes a context
+//     threaded into query execution, which checks it at every node visit;
+//   - observability: per-op latency histograms (internal/histo), buffer
+//     hit/miss counters and admission counters, all served over OpStats;
+//   - graceful drain: Shutdown stops accepting, refuses new requests with
+//     StatusDraining, lets in-flight requests finish under a deadline,
+//     and only then closes connections.
+//
+// The wire protocol lives in internal/server/wire; a Go client with
+// connection reuse in client.go; an in-process load harness in
+// selftest.go.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strtree"
+	"strtree/internal/histo"
+	"strtree/internal/server/wire"
+)
+
+// Config tunes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// MaxInFlight caps concurrently executing requests across all
+	// connections — the admission semaphore's size. Requests arriving
+	// past the cap are rejected immediately with StatusOverloaded.
+	// 0 means 64.
+	MaxInFlight int
+	// DefaultTimeout applies to requests that carry no deadline of their
+	// own. 0 means 5s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines so a hostile client
+	// cannot park a worker forever. 0 means 60s.
+	MaxTimeout time.Duration
+	// BatchWorkers is the executor pool size for OpBatch requests;
+	// 0 means GOMAXPROCS.
+	BatchWorkers int
+	// Logf, when non-nil, receives one line per server-side failure
+	// (internal errors, accept errors). nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server serves queries against one opened tree. Create with New, run
+// with Serve, stop with Shutdown. All exported methods are safe for
+// concurrent use.
+type Server struct {
+	tree *strtree.Tree
+	cfg  Config
+
+	// sem is the admission semaphore: one slot per executing request.
+	sem chan struct{}
+
+	// baseCtx parents every request context; cancelled as a last resort
+	// when a drain deadline expires with requests still running.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	reqWG  sync.WaitGroup // admitted requests (through response write)
+	connWG sync.WaitGroup // connection handler goroutines
+
+	inFlight  atomic.Int64
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	timedOut  atomic.Uint64
+	failed    atomic.Uint64
+	completed atomic.Uint64
+
+	latAll histo.Histogram
+	latOp  [wire.NumOps]histo.Histogram
+}
+
+// New builds a server over an opened tree. The server does not own the
+// tree: the caller closes it after Shutdown returns.
+func New(tree *strtree.Tree, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		tree:       tree,
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		conns:      map[net.Conn]struct{}{},
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ErrAlreadyServing is returned by a second Serve call.
+var ErrAlreadyServing = errors.New("server: already serving")
+
+// Serve accepts connections on ln until Shutdown. It blocks, returning
+// nil after a drain-initiated stop or the first fatal accept error
+// otherwise. The server takes ownership of ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		return ErrAlreadyServing
+	}
+	if s.draining {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.Draining() {
+				return nil
+			}
+			// Transient accept failures (fd pressure) should not kill
+			// the server; anything else is fatal.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			s.logf("strserve: accept: %v", err)
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the listener's address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handleConn serves one connection: frames are read and answered in
+// order. Any transport or framing error closes the connection; request-
+// level failures are answered in-band and keep the connection alive.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+		s.connWG.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	h := &connHandler{srv: s, bw: bw}
+	var inBuf []byte
+	for {
+		payload, err := wire.ReadFrame(br, inBuf)
+		if err != nil {
+			// EOF: client went away (or drain closed the socket). Either
+			// way the conversation is over; nothing to answer.
+			return
+		}
+		inBuf = payload
+		if !h.serveOne(payload) {
+			return
+		}
+	}
+}
+
+// connHandler carries one connection's write side and reusable encode
+// buffer through its requests.
+type connHandler struct {
+	srv    *Server
+	bw     *bufio.Writer
+	outBuf []byte
+}
+
+// writeResp encodes and flushes one response frame, reporting whether
+// the connection is still healthy. For admitted requests it runs before
+// the request slot is released, so a clean drain never closes a
+// connection with a response still unwritten.
+func (h *connHandler) writeResp(resp *wire.Response) bool {
+	out, err := wire.AppendResponse(h.outBuf[:0], resp)
+	if err != nil {
+		h.srv.logf("strserve: encode response: %v", err)
+		return false
+	}
+	h.outBuf = out
+	if err := wire.WriteFrame(h.bw, out); err != nil {
+		return false
+	}
+	return h.bw.Flush() == nil
+}
+
+// serveOne parses, admits, executes and answers one request, returning
+// whether the connection should stay open.
+func (h *connHandler) serveOne(payload []byte) (keep bool) {
+	s := h.srv
+	req, err := wire.ParseRequest(payload)
+	if err != nil {
+		// Parse errors get an in-band answer, then the connection drops:
+		// after a malformed frame the stream cannot be trusted.
+		_ = h.writeResp(&wire.Response{
+			Status: wire.StatusBadRequest,
+			Op:     wire.OpSearch,
+			Err:    err.Error(),
+		})
+		return false
+	}
+
+	release, status := s.admit()
+	if status != wire.StatusOK {
+		// Draining closes the connection after answering; overload keeps
+		// it (the client is expected to back off and retry).
+		ok := h.writeResp(&wire.Response{Status: status, Op: req.Op, Err: status.String()})
+		return ok &&
+			status == wire.StatusOverloaded
+	}
+	// release only after the response frame is written: a draining
+	// Shutdown waits on this slot and must not close the connection with
+	// the answer still buffered.
+	defer release()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.timeoutFor(req))
+	defer cancel()
+
+	start := time.Now()
+	resp, err := s.execute(ctx, req)
+	elapsed := time.Since(start)
+	s.latAll.Observe(elapsed)
+	s.latOp[req.Op-1].Observe(elapsed)
+
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.timedOut.Add(1)
+		resp = &wire.Response{Status: wire.StatusDeadline, Op: req.Op, Err: err.Error()}
+	default:
+		s.failed.Add(1)
+		s.logf("strserve: %v request failed: %v", req.Op, err)
+		resp = &wire.Response{Status: wire.StatusInternal, Op: req.Op, Err: err.Error()}
+	}
+	return h.writeResp(resp)
+}
+
+// admit applies admission control: a full semaphore fast-fails with
+// StatusOverloaded, a draining server with StatusDraining. On StatusOK
+// the caller must invoke release exactly once after the response is
+// written — the drain path waits on it.
+func (s *Server) admit() (release func(), status wire.Status) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, wire.StatusDraining
+	}
+	select {
+	case s.sem <- struct{}{}:
+		// reqWG.Add must happen under mu, before Shutdown can flip
+		// draining and call reqWG.Wait.
+		s.reqWG.Add(1)
+		s.mu.Unlock()
+		s.inFlight.Add(1)
+		s.accepted.Add(1)
+		return func() {
+			<-s.sem
+			s.inFlight.Add(-1)
+			s.reqWG.Done()
+		}, wire.StatusOK
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, wire.StatusOverloaded
+	}
+}
+
+// timeoutFor resolves a request's deadline: its own if set, else the
+// default, never above the maximum.
+func (s *Server) timeoutFor(req *wire.Request) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		d = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// execute runs one admitted request against the tree.
+func (s *Server) execute(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	resp := &wire.Response{Status: wire.StatusOK, Op: req.Op}
+	switch req.Op {
+	case wire.OpSearch:
+		var items []wire.Item
+		err := s.tree.SearchContext(ctx, req.Query, func(it strtree.Item) bool {
+			items = append(items, wire.Item{Rect: it.Rect.Clone(), ID: it.ID})
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp.Items = items
+	case wire.OpSearchPoint:
+		var items []wire.Item
+		err := s.tree.SearchPointContext(ctx, req.Point, func(it strtree.Item) bool {
+			items = append(items, wire.Item{Rect: it.Rect.Clone(), ID: it.ID})
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp.Items = items
+	case wire.OpCount:
+		n, err := s.tree.CountContext(ctx, req.Query)
+		if err != nil {
+			return nil, err
+		}
+		resp.Count = uint64(n)
+	case wire.OpNearest:
+		items, dists, err := s.tree.NearestKContext(ctx, req.Point, int(req.K))
+		if err != nil {
+			return nil, err
+		}
+		resp.Neighbors = make([]wire.Neighbor, len(items))
+		for i, it := range items {
+			resp.Neighbors[i] = wire.Neighbor{Item: wire.Item{Rect: it.Rect, ID: it.ID}, Dist: dists[i]}
+		}
+	case wire.OpBatch:
+		results, err := s.tree.SearchBatchContext(ctx, req.Batch, s.cfg.BatchWorkers)
+		if err != nil {
+			return nil, err
+		}
+		resp.Batch = make([][]wire.Item, len(results))
+		for i, items := range results {
+			if items == nil {
+				continue
+			}
+			out := make([]wire.Item, len(items))
+			for j, it := range items {
+				out[j] = wire.Item{Rect: it.Rect, ID: it.ID}
+			}
+			resp.Batch[i] = out
+		}
+	case wire.OpStats:
+		resp.Stats = s.Stats()
+	}
+	return resp, nil
+}
+
+// Stats snapshots the server's counters, gauges and latency digests plus
+// the served tree's buffer counters.
+func (s *Server) Stats() wire.Stats {
+	ts := s.tree.Stats()
+	st := wire.Stats{
+		InFlight:     uint64(s.inFlight.Load()),
+		Accepted:     s.accepted.Load(),
+		Rejected:     s.rejected.Load(),
+		TimedOut:     s.timedOut.Load(),
+		Failed:       s.failed.Load(),
+		Completed:    s.completed.Load(),
+		Draining:     s.Draining(),
+		LogicalReads: uint64(ts.LogicalReads),
+		DiskReads:    uint64(ts.DiskReads),
+		DiskWrites:   uint64(ts.DiskWrites),
+		Evictions:    uint64(ts.Evictions),
+		Latency:      wire.Summary(s.latAll.Summarize()),
+	}
+	for i := range s.latOp {
+		st.PerOp[i] = wire.Summary(s.latOp[i].Summarize())
+	}
+	return st
+}
+
+// Shutdown drains the server: it stops accepting connections, refuses
+// new requests with StatusDraining, waits for in-flight requests to
+// finish writing their responses, then closes every connection. If ctx
+// expires first, outstanding request contexts are cancelled (queries
+// unwind at their next node visit) and ctx's error is returned; on a
+// clean drain it returns nil. After Shutdown returns nil every handler
+// has exited and the tree is safe to Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	// Stop accepting. Serve's Accept unblocks with an error, sees
+	// draining, and returns nil.
+	if ln != nil {
+		_ = ln.Close()
+	}
+
+	// Wait for admitted requests (through their response writes).
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		// Force outstanding queries to unwind, then give them a moment
+		// to observe the cancellation.
+		s.cancelBase()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			s.logf("strserve: drain deadline passed with requests still running")
+		}
+	}
+
+	// Close every connection: parked readers get EOF and handlers exit.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+
+	if drainErr == nil {
+		s.connWG.Wait()
+	} else {
+		// A stuck request (e.g. storage that never returns) can pin its
+		// handler; bound the wait so a forced shutdown stays bounded.
+		handlers := make(chan struct{})
+		go func() {
+			s.connWG.Wait()
+			close(handlers)
+		}()
+		select {
+		case <-handlers:
+		case <-time.After(time.Second):
+			s.logf("strserve: handlers still running after forced drain")
+		}
+	}
+	s.cancelBase()
+	return drainErr
+}

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"strtree/internal/geom"
+)
+
+// FuzzWireRoundTrip fuzzes the codec's strict-parse/re-encode contract
+// over raw payload bytes: any payload ParseRequest (or ParseResponse)
+// accepts must re-encode to the identical byte string and re-parse
+// without error — the protocol has exactly one encoding per message.
+// Rejected payloads must fail with an error, never a panic or a hang.
+// CI runs this target for a 30s smoke on every push (.github/workflows).
+func FuzzWireRoundTrip(f *testing.F) {
+	// Seed corpus: one well-formed payload per op and status family.
+	for _, req := range []*Request{
+		{Op: OpSearch, TimeoutMillis: 100, Query: geom.R2(0.1, 0.2, 0.3, 0.4)},
+		{Op: OpSearchPoint, Point: geom.Pt2(0.5, 0.5)},
+		{Op: OpCount, Query: geom.R2(0, 0, 1, 1)},
+		{Op: OpNearest, Point: geom.Pt2(0.25, 0.75), K: 10},
+		{Op: OpBatch, Batch: []geom.Rect{geom.R2(0, 0, 0.5, 0.5), geom.R2(0.5, 0.5, 1, 1)}},
+		{Op: OpStats},
+	} {
+		enc, err := AppendRequest(nil, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	for _, resp := range []*Response{
+		{Op: OpSearch, Items: []Item{{Rect: geom.R2(0, 0, 1, 1), ID: 42}}},
+		{Op: OpCount, Count: 7},
+		{Op: OpNearest, Neighbors: []Neighbor{{Item: Item{Rect: geom.R2(0, 0, 0.1, 0.1), ID: 3}, Dist: 1.5}}},
+		{Op: OpBatch, Batch: [][]Item{{{Rect: geom.R2(0, 0, 1, 1), ID: 1}}, {}}},
+		{Op: OpStats, Stats: Stats{Accepted: 10, Latency: Summary{Count: 10, P99: 500}}},
+		{Op: OpSearch, Status: StatusOverloaded, Err: "in-flight cap reached"},
+		{Op: OpCount, Status: StatusDeadline, Err: "deadline exceeded"},
+	} {
+		enc, err := AppendResponse(nil, resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if req, err := ParseRequest(payload); err == nil {
+			re, err := AppendRequest(nil, req)
+			if err != nil {
+				t.Fatalf("parsed request fails to re-encode: %v (%+v)", err, req)
+			}
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("request re-encode differs:\n in %x\nout %x", payload, re)
+			}
+			if _, err := ParseRequest(re); err != nil {
+				t.Fatalf("re-encoded request fails to re-parse: %v", err)
+			}
+		}
+		if resp, err := ParseResponse(payload); err == nil {
+			re, err := AppendResponse(nil, resp)
+			if err != nil {
+				t.Fatalf("parsed response fails to re-encode: %v (%+v)", err, resp)
+			}
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("response re-encode differs:\n in %x\nout %x", payload, re)
+			}
+			if _, err := ParseResponse(re); err != nil {
+				t.Fatalf("re-encoded response fails to re-parse: %v", err)
+			}
+		}
+	})
+}
