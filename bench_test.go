@@ -10,6 +10,7 @@
 package strtree_test
 
 import (
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"testing"
@@ -373,6 +374,61 @@ func BenchmarkExtensions(b *testing.B) {
 	for _, id := range experiments.ExtensionIDs() {
 		b.Run(id, func(b *testing.B) { benchExperiment(b, id) })
 	}
+}
+
+// BenchmarkBuild measures end-to-end bulk-load throughput — parallel
+// sort, tiling and write-behind page emission — through the in-memory STR
+// pipeline. Run with -cpu 1,4,8 to see worker scaling; the tree bytes are
+// identical at every width.
+func BenchmarkBuild(b *testing.B) {
+	entries := datagen.UniformSquares(200000, 5.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workers := runtime.GOMAXPROCS(0)
+		pool := buffer.NewPool(storage.NewMemPager(storage.DefaultPageSize), 1024)
+		tr, err := rtree.Create(pool, rtree.Config{Dims: 2, Capacity: 100, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp := make([]node.Entry, len(entries))
+		copy(cp, entries)
+		if err := tr.BulkLoad(cp, pack.STR{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(entries))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mentries/s")
+}
+
+// BenchmarkBuildExternal measures the bounded-memory pipeline: concurrent
+// run generation and spilling, merge read-ahead, and write-behind leaves.
+// Run with -cpu 1,4,8.
+func BenchmarkBuildExternal(b *testing.B) {
+	entries := datagen.UniformSquares(100000, 5.0, 1)
+	items := make([]strtree.Item, len(entries))
+	for i, e := range entries {
+		items[i] = strtree.Item{Rect: strtree.Rect(e.Rect), ID: e.Ref}
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, err := strtree.New(strtree.Options{Capacity: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		j := 0
+		src := func() (strtree.Item, bool) {
+			if j >= len(items) {
+				return strtree.Item{}, false
+			}
+			it := items[j]
+			j++
+			return it, true
+		}
+		if err := tree.BulkLoadExternal(src, strtree.ExternalOptions{RunSize: 1 << 14, TmpDir: dir}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mentries/s")
 }
 
 // BenchmarkParallelSTR measures the goroutine-parallel STR sort, the

@@ -13,8 +13,9 @@
 #                     seed corpora)
 #   6. go test -race  the concurrency-sensitive packages: the buffer pool
 #                     (incl. the sharded pool's eviction hammer), the
-#                     packers, the batch executor, the query server
-#                     (admission, deadlines, drain), and the root
+#                     packers, the parallel sort kernel, the concurrent
+#                     external sorter, the batch executor, the query
+#                     server (admission, deadlines, drain), and the root
 #                     package's concurrent Search/SearchBatch tests
 #
 # The script is plain POSIX sh with no interactive steps, so CI runs it
@@ -44,8 +45,8 @@ go run ./cmd/strlint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (buffer, pack, query, server, concurrent root tests)"
-go test -race ./internal/buffer/... ./internal/pack/... ./internal/query/... ./internal/server/...
+echo "== go test -race (buffer, pack, psort, extsort, query, server, concurrent root tests)"
+go test -race ./internal/buffer/... ./internal/pack/... ./internal/psort/... ./internal/extsort/... ./internal/query/... ./internal/server/...
 go test -race -run 'Concurrent|Batch|Sharded|View' .
 
 echo "All checks passed."

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"strtree/internal/buffer"
+	"strtree/internal/datagen"
+	"strtree/internal/node"
+	"strtree/internal/pack"
+	"strtree/internal/rtree"
+	"strtree/internal/storage"
+)
+
+// buildConfig parameterizes the -build mode: bulk-load throughput sweeps
+// over worker counts, for the in-memory STR path and the external
+// (bounded-memory) STR path, with a per-phase breakdown and a checksum
+// proving the packed trees are byte-identical at every worker count.
+type buildConfig struct {
+	N        int   // entries for the in-memory sweep
+	ExtN     int   // entries for the external sweep (0 skips it)
+	RunSize  int   // external sort run size
+	Capacity int   // node capacity (the paper's n)
+	Workers  []int // worker counts to sweep
+	Seed     int64
+}
+
+// treeChecksum hashes every page of the pager — the whole packed tree,
+// metadata included — so two builds compare byte for byte.
+func treeChecksum(pg storage.Pager) (uint64, error) {
+	h := fnv.New64a()
+	buf := make([]byte, pg.PageSize())
+	for id := 0; id < pg.NumPages(); id++ {
+		if err := pg.ReadPage(storage.PageID(id), buf); err != nil {
+			return 0, err
+		}
+		if _, err := h.Write(buf); err != nil {
+			return 0, err
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// buildResult is one row of a sweep.
+type buildResult struct {
+	workers  int
+	wall     time.Duration
+	sort     time.Duration
+	tile     time.Duration
+	write    time.Duration
+	checksum uint64
+}
+
+func fmtRate(n int, wall time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(n)/wall.Seconds()/1e6)
+}
+
+func printSweep(w io.Writer, n int, rs []buildResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workers\twall\tMentries/s\tspeedup\tsort\ttile\twrite\tchecksum")
+	base := rs[0].wall.Seconds()
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%d\t%v\t%s\t%.2fx\t%v\t%v\t%v\t%016x\n",
+			r.workers, r.wall.Round(time.Millisecond), fmtRate(n, r.wall),
+			base/r.wall.Seconds(),
+			r.sort.Round(time.Millisecond), r.tile.Round(time.Millisecond),
+			r.write.Round(time.Millisecond), r.checksum)
+	}
+	tw.Flush()
+}
+
+// checkIdentical fails the run if any worker count produced different
+// tree bytes — the determinism guarantee the CI smoke asserts via this
+// command's exit code.
+func checkIdentical(rs []buildResult) error {
+	for _, r := range rs[1:] {
+		if r.checksum != rs[0].checksum {
+			return fmt.Errorf("tree checksum mismatch: workers=%d gave %016x, workers=%d gave %016x",
+				rs[0].workers, rs[0].checksum, r.workers, r.checksum)
+		}
+	}
+	return nil
+}
+
+// runBuildBench sweeps the worker counts over the in-memory STR build and
+// (when cfg.ExtN > 0) the external STR build, reporting throughput, the
+// sort/tile/write phase split, and the tree checksum per worker count.
+func runBuildBench(w io.Writer, cfg buildConfig) error {
+	entries := datagen.UniformSquares(cfg.N, 5.0, cfg.Seed)
+	fmt.Fprintf(w, "== build throughput: in-memory STR, %d entries, capacity %d, GOMAXPROCS=%d ==\n",
+		cfg.N, cfg.Capacity, runtime.GOMAXPROCS(0))
+
+	var results []buildResult
+	for _, workers := range cfg.Workers {
+		pg := storage.NewMemPager(storage.DefaultPageSize)
+		pool := buffer.NewPool(pg, 1024)
+		tr, err := rtree.Create(pool, rtree.Config{Dims: 2, Capacity: cfg.Capacity, Workers: workers})
+		if err != nil {
+			return err
+		}
+		timing := &pack.STRTiming{}
+		cp := make([]node.Entry, len(entries))
+		copy(cp, entries)
+		t0 := time.Now()
+		if err := tr.BulkLoad(cp, pack.STR{Workers: workers, Timing: timing}); err != nil {
+			return err
+		}
+		wall := time.Since(t0)
+		sum, err := treeChecksum(pg)
+		if err != nil {
+			return err
+		}
+		stats := tr.LastBuildStats()
+		results = append(results, buildResult{
+			workers:  workers,
+			wall:     wall,
+			sort:     time.Duration(timing.SortNanos.Load()),
+			tile:     time.Duration(timing.TileNanos.Load()),
+			write:    stats.Write,
+			checksum: sum,
+		})
+	}
+	printSweep(w, cfg.N, results)
+	if err := checkIdentical(results); err != nil {
+		return err
+	}
+
+	if cfg.ExtN <= 0 {
+		return nil
+	}
+	extEntries := datagen.UniformSquares(cfg.ExtN, 5.0, cfg.Seed+1)
+	fmt.Fprintf(w, "\n== build throughput: external STR, %d entries, run size %d, capacity %d ==\n",
+		cfg.ExtN, cfg.RunSize, cfg.Capacity)
+	var extResults []buildResult
+	for _, workers := range cfg.Workers {
+		pg := storage.NewMemPager(storage.DefaultPageSize)
+		pool := buffer.NewPool(pg, 1024)
+		tr, err := rtree.Create(pool, rtree.Config{Dims: 2, Capacity: cfg.Capacity, Workers: workers})
+		if err != nil {
+			return err
+		}
+		packer := pack.STRExternal{RunSize: cfg.RunSize, Workers: workers}
+		t0 := time.Now()
+		if err := loadExternal(tr, packer, extEntries, workers); err != nil {
+			return err
+		}
+		wall := time.Since(t0)
+		sum, err := treeChecksum(pg)
+		if err != nil {
+			return err
+		}
+		stats := tr.LastBuildStats()
+		extResults = append(extResults, buildResult{
+			workers:  workers,
+			wall:     wall,
+			write:    stats.Write,
+			checksum: sum,
+		})
+	}
+	// The external path has no sort/tile split (ordering happens inside
+	// the external merge sorts), so those columns read as zero.
+	printSweep(w, cfg.ExtN, extResults)
+	return checkIdentical(extResults)
+}
+
+// loadExternal packs entries through the external sorter into tr, the
+// same wiring strtree.BulkLoadExternal uses.
+func loadExternal(tr *rtree.Tree, packer pack.STRExternal, entries []node.Entry, workers int) error {
+	i := 0
+	src := func() (node.Entry, bool) {
+		if i >= len(entries) {
+			return node.Entry{}, false
+		}
+		e := entries[i]
+		i++
+		return e, true
+	}
+	ch := make(chan node.Entry, 256)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(ch)
+		errc <- packer.Pack(tr.Capacity(), src, func(e node.Entry) error {
+			ch <- e
+			return nil
+		})
+	}()
+	loadErr := tr.BulkLoadOrdered(func() (node.Entry, bool, error) {
+		e, ok := <-ch
+		return e, ok, nil
+	}, pack.STR{Workers: workers})
+	for range ch {
+	}
+	if packErr := <-errc; packErr != nil {
+		return packErr
+	}
+	return loadErr
+}

@@ -5,6 +5,7 @@
 //
 //	strbench [-exp table2,fig9|all] [-scale 0.2] [-queries 500] [-full] [-seed 1]
 //	strbench -concurrency [-workers 1,2,4,8] [-shards 8] [-scale 0.2] [-queries 500]
+//	strbench -build [-n 1000000] [-extn 200000] [-runsize 65536] [-workers 1,2,4,8]
 //	strbench -ci BENCH_CI.json [-baseline BENCH_BASELINE.json]
 //
 // Each experiment prints the same rows the paper reports (figures are
@@ -16,6 +17,12 @@
 // -concurrency benchmarks the concurrent query path instead: it builds one
 // packed tree over a sharded buffer and sweeps the batch executor's worker
 // count, reporting throughput, scaling and accesses per query.
+//
+// -build benchmarks the bulk-load pipeline instead: it sweeps the worker
+// count over an in-memory STR build and an external (bounded-memory) STR
+// build, reporting entries/sec, the sort/tile/write phase split, and a
+// checksum over the packed tree's pages — the run exits non-zero if any
+// worker count produces different tree bytes.
 //
 // -ci runs a fixed deterministic experiment slice and writes the results
 // as JSON; with -baseline it compares against a committed report and exits
@@ -45,8 +52,13 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments and exit")
 
 		concurrency = flag.Bool("concurrency", false, "run the concurrent query benchmark instead of the paper suite")
-		workers     = flag.String("workers", "1,2,4,8", "worker counts to sweep in -concurrency mode (comma-separated)")
+		workers     = flag.String("workers", "1,2,4,8", "worker counts to sweep in -concurrency and -build modes (comma-separated)")
 		shards      = flag.Int("shards", 8, "buffer shards in -concurrency mode (power of two)")
+
+		build   = flag.Bool("build", false, "run the bulk-load throughput benchmark instead of the paper suite")
+		buildN  = flag.Int("n", 1000000, "entries for the in-memory sweep in -build mode")
+		extN    = flag.Int("extn", 200000, "entries for the external sweep in -build mode (0 skips it)")
+		runSize = flag.Int("runsize", 1<<16, "external sort run size in -build mode")
 
 		ci       = flag.String("ci", "", "write a deterministic benchmark report (JSON) to this file and exit")
 		baseline = flag.String("baseline", "", "with -ci: compare the report against this baseline, exit 1 on drift")
@@ -55,6 +67,27 @@ func main() {
 
 	if *ci != "" {
 		if err := runCI(*ci, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "strbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *build {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "strbench: -workers: %v\n", err)
+			os.Exit(2)
+		}
+		err = runBuildBench(os.Stdout, buildConfig{
+			N:        *buildN,
+			ExtN:     *extN,
+			RunSize:  *runSize,
+			Capacity: 100,
+			Workers:  ws,
+			Seed:     *seed,
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "strbench: %v\n", err)
 			os.Exit(1)
 		}

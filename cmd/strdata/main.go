@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 
 	"strtree/internal/datagen"
 )
@@ -35,7 +35,7 @@ func main() {
 		for name := range catalog {
 			names = append(names, name)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		fmt.Fprintf(os.Stderr, "strdata: unknown set %q; available: %v\n", *set, names)
 		os.Exit(2)
 	}

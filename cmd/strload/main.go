@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	strload build -in rects.csv -out index.str [-pack STR|HS|NX] [-cap 100]
+//	strload build -in rects.csv -out index.str [-pack STR|HS|NX] [-cap 100] [-workers N]
 //	strload query -idx index.str -rect x0,y0,x1,y1 [-buffer 256]
 //	strload stats -idx index.str
 //
@@ -63,6 +63,7 @@ func runBuild(args []string) error {
 	capacity := fs.Int("cap", 100, "node capacity (entries per page)")
 	external := fs.Bool("external", false, "bounded-memory STR build (for inputs larger than RAM; STR only)")
 	runSize := fs.Int("runsize", 1<<20, "max items in memory during an -external build")
+	workers := fs.Int("workers", 0, "goroutines for the build's sort and page-write phases (0 = GOMAXPROCS); the index bytes are identical for every value")
 	verify := fs.Bool("verify", false, "after building, re-walk the index and check every structural invariant (balance, MBR tightness, packed fill, page round-trips)")
 	fs.Parse(args)
 	inputs := 0
@@ -93,7 +94,7 @@ func runBuild(args []string) error {
 		return fmt.Errorf("build: -external supports only STR packing")
 	}
 
-	tree, err := strtree.Create(*out, strtree.Options{Capacity: *capacity})
+	tree, err := strtree.Create(*out, strtree.Options{Capacity: *capacity, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -15,7 +15,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -217,14 +217,17 @@ func IDs() []string {
 	for id := range registry {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		ti := strings.HasPrefix(ids[i], "table")
-		tj := strings.HasPrefix(ids[j], "table")
-		if ti != tj {
-			return ti
+	slices.SortFunc(ids, func(a, b string) int {
+		ta := strings.HasPrefix(a, "table")
+		tb := strings.HasPrefix(b, "table")
+		if ta != tb {
+			if ta {
+				return -1
+			}
+			return 1
 		}
 		// Numeric suffix order.
-		return numSuffix(ids[i]) < numSuffix(ids[j])
+		return numSuffix(a) - numSuffix(b)
 	})
 	return ids
 }

@@ -1,8 +1,9 @@
 package experiments
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"strtree/internal/datagen"
 	"strtree/internal/geom"
@@ -157,7 +158,21 @@ func ExtQOrder(cfg Config) (*Table, error) {
 	for i, q := range ordered {
 		keys[i] = m.Key([]float64{q.CenterAxis(0), q.CenterAxis(1)})
 	}
-	sort.Sort(&keyedRects{keys: keys, rects: ordered})
+	idx := make([]int, len(ordered))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int {
+		if c := cmp.Compare(keys[a], keys[b]); c != 0 {
+			return c
+		}
+		return a - b
+	})
+	permuted := make([]geom.Rect, len(ordered))
+	for i, j := range idx {
+		permuted[i] = ordered[j]
+	}
+	ordered = permuted
 
 	for _, pb := range []int{10, 25, 50, 100} {
 		buf := cfg.bufPages(pb)
@@ -178,17 +193,4 @@ func ExtQOrder(cfg Config) (*Table, error) {
 		})
 	}
 	return t, nil
-}
-
-// keyedRects sorts rects by parallel keys.
-type keyedRects struct {
-	keys  []uint64
-	rects []geom.Rect
-}
-
-func (k *keyedRects) Len() int           { return len(k.keys) }
-func (k *keyedRects) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
-func (k *keyedRects) Swap(i, j int) {
-	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
-	k.rects[i], k.rects[j] = k.rects[j], k.rects[i]
 }

@@ -3,22 +3,34 @@
 // ("data sets likely to be used by near term future applications" exceed
 // the buffer, and packing is preprocessing over files).
 //
-// The implementation is the classical two-phase external merge sort:
-// fixed-size runs are sorted in memory and spilled to a temporary file;
-// a k-way merge (container/heap) streams the runs back in order. Entries
-// are serialized with the same fixed-width binary layout the node pages
-// use.
+// The implementation is the classical two-phase external merge sort with
+// the classical concurrency on top: during run generation the ingest loop
+// keeps streaming while a bounded worker pool sorts and spills completed
+// runs (run buffers are recycled through a free list, so ingest rarely
+// waits on an allocation); during the merge each run gets a background
+// prefetch reader that keeps a couple of decoded batches ahead of the
+// k-way heap. Entries are serialized with the same fixed-width binary
+// layout the node pages use.
+//
+// Determinism: run boundaries depend only on the input order and the run
+// size, runs are sorted stably, and the merge heap is seeded with runs in
+// spill order — every heap operation therefore sees the same state
+// regardless of which goroutine spilled which run, so the emitted
+// sequence is identical for every Workers setting, and identical to the
+// sequential implementation this one replaced.
 package extsort
 
 import (
 	"bufio"
 	"container/heap"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
-	"sort"
+	"slices"
+	"sync"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
@@ -35,16 +47,25 @@ func ByCenter(axis int) Less {
 	}
 }
 
+// prefetchBatch is how many decoded entries one merge read-ahead batch
+// holds; each run keeps up to two batches in flight.
+const prefetchBatch = 512
+
 // Sorter sorts streams of entries, spilling to disk when a run exceeds
 // the in-memory budget.
 type Sorter struct {
 	dims    int
 	runSize int
 	tmpDir  string
+
+	// Workers bounds the goroutines that sort and spill completed runs
+	// while ingest continues (< 1 means 1). The emitted order is
+	// byte-for-byte identical for every setting; only wall time changes.
+	Workers int
 }
 
 // NewSorter creates a sorter for entries of the given dimensionality that
-// keeps at most runSize entries in memory at a time. Temporary run files
+// keeps at most runSize entries in memory per run. Temporary run files
 // are created in tmpDir ("" means the OS default).
 func NewSorter(dims, runSize int, tmpDir string) (*Sorter, error) {
 	if dims <= 0 {
@@ -59,71 +80,176 @@ func NewSorter(dims, runSize int, tmpDir string) (*Sorter, error) {
 // entrySize is the on-disk size of one entry.
 func (s *Sorter) entrySize() int { return 16*s.dims + 8 }
 
-// Sort consumes entries from next (which returns false when exhausted)
-// and emits them in order to emit. Both callbacks may be called many
-// times; emit's entry is only valid during the call.
-func (s *Sorter) Sort(less Less, next func() (node.Entry, bool), emit func(node.Entry) error) error {
-	// Phase 1: build sorted runs.
-	var (
-		run   []node.Entry
-		files []*os.File
-	)
+func (s *Sorter) workers() int {
+	if s.Workers < 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+// sortRun stably sorts one run in memory; stability keeps the output
+// identical to the historical sequential implementation when less admits
+// ties.
+func sortRun(run []node.Entry, less Less) {
+	slices.SortStableFunc(run, func(a, b node.Entry) int {
+		switch {
+		case less(&a, &b):
+			return -1
+		case less(&b, &a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// spillRun sorts a completed run and writes it to a fresh temp file. On
+// any failure the temp file is closed and removed before returning; the
+// caller only ever owns a fully written file.
+func (s *Sorter) spillRun(run []node.Entry, less Less) (_ *os.File, err error) {
+	sortRun(run, less)
+	f, err := os.CreateTemp(s.tmpDir, "extsort-run-*")
+	if err != nil {
+		return nil, err
+	}
 	defer func() {
-		for _, f := range files {
-			f.Close()
-			os.Remove(f.Name())
-		}
-	}()
-	flushRun := func() error {
-		if len(run) == 0 {
-			return nil
-		}
-		sort.SliceStable(run, func(i, j int) bool { return less(&run[i], &run[j]) })
-		f, err := os.CreateTemp(s.tmpDir, "extsort-run-*")
 		if err != nil {
-			return err
-		}
-		w := bufio.NewWriterSize(f, 1<<16)
-		buf := make([]byte, s.entrySize())
-		for i := range run {
-			s.encode(&run[i], buf)
-			if _, err := w.Write(buf); err != nil {
-				f.Close()
-				os.Remove(f.Name())
-				return err
+			err = errors.Join(err, f.Close())
+			if rmErr := os.Remove(f.Name()); rmErr != nil {
+				err = errors.Join(err, rmErr)
 			}
 		}
-		if err := w.Flush(); err != nil {
-			f.Close()
-			os.Remove(f.Name())
-			return err
+	}()
+	w := bufio.NewWriterSize(f, 1<<16)
+	buf := make([]byte, s.entrySize())
+	for i := range run {
+		s.encode(&run[i], buf)
+		if _, werr := w.Write(buf); werr != nil {
+			return nil, werr
 		}
-		files = append(files, f)
-		run = run[:0]
-		return nil
+	}
+	if ferr := w.Flush(); ferr != nil {
+		return nil, ferr
+	}
+	return f, nil
+}
+
+// Sort consumes entries from next (which returns false when exhausted)
+// and emits them in order to emit. Both callbacks may be called many
+// times; emit's entry is only valid during the call. next and emit are
+// always called from the Sort goroutine — the internal concurrency never
+// touches them.
+func (s *Sorter) Sort(less Less, next func() (node.Entry, bool), emit func(node.Entry) error) (err error) {
+	workers := s.workers()
+
+	var (
+		mu       sync.Mutex
+		files    []*os.File // indexed by run sequence number: merge order = spill order
+		firstErr error
+	)
+	fail := func(e error) {
+		if e == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+	}
+	failed := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
+	}
+	setFile := func(seq int, f *os.File) {
+		mu.Lock()
+		for len(files) <= seq {
+			files = append(files, nil)
+		}
+		files[seq] = f
+		mu.Unlock()
+	}
+	// Every spilled temp file — including ones registered after a failure —
+	// is closed and removed exactly once, with close/remove errors joined
+	// into the returned error instead of dropped.
+	defer func() {
+		mu.Lock()
+		fs := files
+		files = nil
+		mu.Unlock()
+		for _, f := range fs {
+			if f == nil {
+				continue
+			}
+			err = errors.Join(err, f.Close())
+			if rmErr := os.Remove(f.Name()); rmErr != nil {
+				err = errors.Join(err, rmErr)
+			}
+		}
+	}()
+
+	// Phase 1: run generation. The ingest loop below keeps calling next
+	// while up to `workers` goroutines sort and spill completed runs.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	freeBufs := make(chan []node.Entry, workers+1)
+	newRun := func() []node.Entry {
+		select {
+		case b := <-freeBufs:
+			return b
+		default:
+			return make([]node.Entry, 0, s.runSize)
+		}
+	}
+	spawnSpill := func(run []node.Entry, seq int) {
+		wg.Add(1)
+		sem <- struct{}{} // bounded pool: ingest waits only when all workers are busy
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if failed() == nil {
+				f, e := s.spillRun(run, less)
+				if e != nil {
+					fail(e)
+				} else {
+					setFile(seq, f)
+				}
+			}
+			select {
+			case freeBufs <- run[:0]:
+			default:
+			}
+		}()
 	}
 
 	total := 0
-	for {
+	runsSpawned := 0
+	run := newRun()
+	for failed() == nil {
 		e, ok := next()
 		if !ok {
 			break
 		}
 		if e.Rect.Dim() != s.dims {
-			return fmt.Errorf("extsort: entry dim %d, sorter dim %d", e.Rect.Dim(), s.dims)
+			fail(fmt.Errorf("extsort: entry dim %d, sorter dim %d", e.Rect.Dim(), s.dims))
+			break
 		}
 		run = append(run, node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref})
 		total++
 		if len(run) >= s.runSize {
-			if err := flushRun(); err != nil {
-				return err
-			}
+			spawnSpill(run, runsSpawned)
+			runsSpawned++
+			run = newRun()
 		}
 	}
 
-	// Everything fit in one in-memory run: no files needed.
-	if len(files) == 0 {
-		sort.SliceStable(run, func(i, j int) bool { return less(&run[i], &run[j]) })
+	// Everything fit in one in-memory run: no files, no merge.
+	if runsSpawned == 0 {
+		if e := failed(); e != nil {
+			return e
+		}
+		sortRun(run, less)
 		for i := range run {
 			if err := emit(run[i]); err != nil {
 				return err
@@ -131,27 +257,87 @@ func (s *Sorter) Sort(less Less, next func() (node.Entry, bool), emit func(node.
 		}
 		return nil
 	}
-	if err := flushRun(); err != nil {
-		return err
+	if len(run) > 0 && failed() == nil {
+		spawnSpill(run, runsSpawned)
+		runsSpawned++
+	}
+	wg.Wait()
+	if e := failed(); e != nil {
+		return e
 	}
 
-	// Phase 2: k-way merge of the runs.
-	readers := make([]*runReader, len(files))
-	for i, f := range files {
+	// Phase 2: k-way merge with per-run read-ahead. Each run file gets a
+	// background reader that stays up to two decoded batches ahead of the
+	// heap, so merge CPU overlaps run I/O.
+	mu.Lock()
+	fs := files
+	mu.Unlock()
+	prefetchers := make([]*prefetch, len(fs))
+	var rwg sync.WaitGroup
+	// Stop the readers before the file-cleanup defer above closes the
+	// files out from under them (defers run last-in first-out).
+	defer func() {
+		for _, p := range prefetchers {
+			if p != nil {
+				close(p.stop)
+			}
+		}
+		rwg.Wait()
+	}()
+	for i, f := range fs {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return err
 		}
-		readers[i] = &runReader{
-			r:    bufio.NewReaderSize(f, 1<<16),
-			buf:  make([]byte, s.entrySize()),
-			dims: s.dims,
+		p := &prefetch{
+			batches: make(chan runBatch, 2),
+			stop:    make(chan struct{}),
 		}
+		prefetchers[i] = p
+		rwg.Add(1)
+		go func(f *os.File, p *prefetch) {
+			defer rwg.Done()
+			defer close(p.batches)
+			rr := &runReader{
+				r:    bufio.NewReaderSize(f, 1<<16),
+				buf:  make([]byte, s.entrySize()),
+				dims: s.dims,
+			}
+			for {
+				batch := make([]node.Entry, 0, prefetchBatch)
+				for len(batch) < prefetchBatch {
+					e, ok, rerr := rr.next()
+					if rerr != nil {
+						select {
+						case p.batches <- runBatch{err: rerr}:
+						case <-p.stop:
+						}
+						return
+					}
+					if !ok {
+						break
+					}
+					batch = append(batch, e)
+				}
+				if len(batch) == 0 {
+					return
+				}
+				select {
+				case p.batches <- runBatch{entries: batch}:
+				case <-p.stop:
+					return
+				}
+				if len(batch) < prefetchBatch {
+					return // short batch: the run is exhausted
+				}
+			}
+		}(f, p)
 	}
+
 	h := &mergeHeap{less: less}
-	for i, r := range readers {
-		e, ok, err := r.next()
-		if err != nil {
-			return err
+	for i, p := range prefetchers {
+		e, ok, perr := p.next()
+		if perr != nil {
+			return perr
 		}
 		if ok {
 			h.items = append(h.items, mergeItem{entry: e, src: i})
@@ -165,9 +351,9 @@ func (s *Sorter) Sort(less Less, next func() (node.Entry, bool), emit func(node.
 			return err
 		}
 		emitted++
-		e, ok, err := readers[top.src].next()
-		if err != nil {
-			return err
+		e, ok, perr := prefetchers[top.src].next()
+		if perr != nil {
+			return perr
 		}
 		if ok {
 			h.items[0] = mergeItem{entry: e, src: top.src}
@@ -180,6 +366,40 @@ func (s *Sorter) Sort(less Less, next func() (node.Entry, bool), emit func(node.
 		return fmt.Errorf("extsort: emitted %d of %d entries", emitted, total)
 	}
 	return nil
+}
+
+// runBatch is one block of decoded entries handed from a prefetch reader
+// to the merge loop; err terminates the run.
+type runBatch struct {
+	entries []node.Entry
+	err     error
+}
+
+// prefetch is the merge loop's view of one run: a channel of read-ahead
+// batches plus the batch currently being consumed.
+type prefetch struct {
+	batches chan runBatch
+	stop    chan struct{}
+	cur     []node.Entry
+	pos     int
+}
+
+// next returns the run's next entry, blocking on the reader only when the
+// read-ahead is empty.
+func (p *prefetch) next() (node.Entry, bool, error) {
+	for p.pos >= len(p.cur) {
+		b, ok := <-p.batches
+		if !ok {
+			return node.Entry{}, false, nil
+		}
+		if b.err != nil {
+			return node.Entry{}, false, b.err
+		}
+		p.cur, p.pos = b.entries, 0
+	}
+	e := p.cur[p.pos]
+	p.pos++
+	return e, true, nil
 }
 
 // SortSlice sorts entries in place using external runs; a convenience for

@@ -1,0 +1,142 @@
+package extsort
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"strtree/internal/node"
+)
+
+// dupEntries makes entries whose sort keys collide heavily (only 16
+// distinct center positions), the case where run-sort stability is the
+// only thing keeping the merged order deterministic.
+func dupEntries(n int) []node.Entry {
+	out := randEntries(n, 9)
+	for i := range out {
+		x := float64(i % 16)
+		w := out[i].Rect.Max[0] - out[i].Rect.Min[0]
+		out[i].Rect.Min[0], out[i].Rect.Max[0] = x, x+w
+	}
+	return out
+}
+
+// TestSortWorkerSweepIdentical runs the same spilling sort at several
+// worker counts and requires the emitted sequence to match entry for
+// entry, including on duplicate keys.
+func TestSortWorkerSweepIdentical(t *testing.T) {
+	entries := dupEntries(3000)
+	collect := func(workers int) []node.Entry {
+		s, err := NewSorter(2, 128, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Workers = workers
+		var got []node.Entry
+		if err := s.Sort(ByCenter(0), sliceSource(entries), func(e node.Entry) error {
+			got = append(got, node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	want := collect(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := collect(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d emitted %d entries, workers=1 emitted %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Ref != want[i].Ref {
+				t.Fatalf("workers=%d position %d: ref %d, workers=1 put ref %d",
+					workers, i, got[i].Ref, want[i].Ref)
+			}
+		}
+	}
+}
+
+// countFiles returns how many entries dir currently holds.
+func countFiles(t *testing.T, dir string) int {
+	t.Helper()
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(names)
+}
+
+// TestSortEmitErrorCleansSpills fails the sort mid-merge (after runs have
+// spilled) and checks that the error is returned and every temp file is
+// gone.
+func TestSortEmitErrorCleansSpills(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSorter(2, 64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 4
+	boom := errors.New("emit failed")
+	emitted := 0
+	err = s.Sort(ByCenter(0), sliceSource(randEntries(1000, 2)), func(node.Entry) error {
+		emitted++
+		if emitted == 100 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got error %v, want %v", err, boom)
+	}
+	if n := countFiles(t, dir); n != 0 {
+		t.Fatalf("%d temp files left after emit failure", n)
+	}
+}
+
+// TestSortIngestErrorCleansSpills kills the source mid-stream — after
+// several runs have already spilled — via a dim mismatch, and checks the
+// spilled runs are removed.
+func TestSortIngestErrorCleansSpills(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSorter(2, 64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 4
+	good := randEntries(400, 3)
+	i := 0
+	src := func() (node.Entry, bool) {
+		if i >= len(good) {
+			// A 3-D straggler into the 2-D sorter: rejected at ingest,
+			// well after the first runs spilled.
+			return node.Entry{Rect: newRect(3)}, true
+		}
+		e := good[i]
+		i++
+		return e, true
+	}
+	err = s.Sort(ByCenter(0), src, func(node.Entry) error { return nil })
+	if err == nil {
+		t.Fatal("dim mismatch not reported")
+	}
+	if n := countFiles(t, dir); n != 0 {
+		t.Fatalf("%d temp files left after ingest failure", n)
+	}
+}
+
+// TestSortLeavesNoTempFiles pins the other half of the cleanup contract:
+// a successful spilling sort removes every run file it created.
+func TestSortLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSorter(2, 64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 4
+	if err := s.Sort(ByCenter(0), sliceSource(randEntries(1000, 4)), func(node.Entry) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := countFiles(t, dir); n != 0 {
+		t.Fatalf("%d temp files left after successful sort", n)
+	}
+}

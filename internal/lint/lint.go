@@ -43,7 +43,7 @@ package lint
 import (
 	"fmt"
 	"go/token"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -101,22 +101,21 @@ func (a *Analyzer) Run(pkgPaths, checks []string) ([]Finding, error) {
 			pkgs = append(pkgs, p)
 		}
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].path < pkgs[j].path })
+	slices.SortFunc(pkgs, func(a, b *pkgInfo) int { return strings.Compare(a.path, b.path) })
 
 	var all []Finding
 	for _, p := range pkgs {
 		all = append(all, a.checkPackage(p, enabled)...)
 	}
 	all = a.suppress(all)
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	slices.SortFunc(all, func(a, b Finding) int {
+		if c := strings.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+			return c
 		}
 		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+			return a.Pos.Line - b.Pos.Line
 		}
-		return a.Pos.Column < b.Pos.Column
+		return a.Pos.Column - b.Pos.Column
 	})
 	return all, nil
 }

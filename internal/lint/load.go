@@ -7,7 +7,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -84,7 +84,7 @@ func (a *Analyzer) Packages() []string {
 			out = append(out, path)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -163,7 +163,7 @@ func (a *Analyzer) parseFile(path string) error {
 	}
 	f.ignores = parseDirectives(a.fset, src)
 	p.files = append(p.files, f)
-	sort.Slice(p.files, func(i, j int) bool { return p.files[i].name < p.files[j].name })
+	slices.SortFunc(p.files, func(a, b *fileInfo) int { return strings.Compare(a.name, b.name) })
 	return nil
 }
 

@@ -19,6 +19,8 @@ var droppedErrTargets = map[string]bool{
 	"internal/buffer":  true,
 	"internal/query":   true,
 	"internal/server":  true,
+	"internal/extsort": true,
+	"internal/pack":    true,
 	"encoding/binary":  true,
 }
 
@@ -31,8 +33,8 @@ var droppedErrTargets = map[string]bool{
 //	node, wkt, geojson, server/wire    -> geom
 //	query                              -> geom, node
 //	buffer, trace                      -> storage
-//	datagen, extsort                   -> geom, node
-//	pack                               -> extsort, geom, hilbert, node
+//	datagen, extsort, psort            -> geom, node
+//	pack                               -> extsort, geom, hilbert, node, psort
 //	rtree                              -> buffer, geom, node, storage
 //	metrics, invariant                 -> rtree and below
 //	experiments                        -> everything below
@@ -62,11 +64,13 @@ var layerAllowed = map[string]map[string]bool{
 	"internal/trace":   {"internal/storage": true},
 	"internal/datagen": {"internal/geom": true, "internal/node": true},
 	"internal/extsort": {"internal/geom": true, "internal/node": true},
+	"internal/psort":   {"internal/geom": true, "internal/node": true},
 	"internal/pack": {
 		"internal/extsort": true,
 		"internal/geom":    true,
 		"internal/hilbert": true,
 		"internal/node":    true,
+		"internal/psort":   true,
 	},
 	"internal/rtree": {
 		"internal/buffer":  true,

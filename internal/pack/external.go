@@ -3,6 +3,7 @@ package pack
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -26,6 +27,10 @@ type STRExternal struct {
 	RunSize int
 	// TmpDir hosts the spill files ("" = OS default).
 	TmpDir string
+	// Workers bounds the goroutines the external sorts use to overlap run
+	// sorting/spilling with input streaming (< 1 means 1). The emitted
+	// order is identical for every setting.
+	Workers int
 }
 
 func (s STRExternal) runSize() int {
@@ -38,7 +43,7 @@ func (s STRExternal) runSize() int {
 // Pack consumes 2-D entries from src (until it reports false), orders
 // them by STR for node capacity n, and streams them to emit in packing
 // order. The number of entries is discovered during the spill phase.
-func (s STRExternal) Pack(n int, src func() (node.Entry, bool), emit func(node.Entry) error) error {
+func (s STRExternal) Pack(n int, src func() (node.Entry, bool), emit func(node.Entry) error) (err error) {
 	if n < 1 {
 		return fmt.Errorf("pack: node capacity %d < 1", n)
 	}
@@ -47,7 +52,7 @@ func (s STRExternal) Pack(n int, src func() (node.Entry, bool), emit func(node.E
 	if err != nil {
 		return err
 	}
-	defer spill.cleanup()
+	defer func() { err = errors.Join(err, spill.cleanup()) }()
 	count := 0
 	for {
 		e, ok := src()
@@ -71,11 +76,12 @@ func (s STRExternal) Pack(n int, src func() (node.Entry, bool), emit func(node.E
 	if err != nil {
 		return err
 	}
+	sorter.Workers = s.Workers
 	xsorted, err := newSpill(s.TmpDir)
 	if err != nil {
 		return err
 	}
-	defer xsorted.cleanup()
+	defer func() { err = errors.Join(err, xsorted.cleanup()) }()
 	read := spill.reader()
 	var readErr error
 	if err := sorter.Sort(extsort.ByCenter(0),
@@ -200,7 +206,12 @@ func (s *spill) reader() func() (node.Entry, bool, error) {
 	}
 }
 
-func (s *spill) cleanup() {
-	s.f.Close()
-	os.Remove(s.f.Name())
+// cleanup closes and removes the spill file, reporting rather than
+// dropping either failure.
+func (s *spill) cleanup() error {
+	err := s.f.Close()
+	if rmErr := os.Remove(s.f.Name()); rmErr != nil {
+		err = errors.Join(err, rmErr)
+	}
+	return err
 }

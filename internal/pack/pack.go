@@ -9,15 +9,22 @@
 // capacity n. Per the paper (Section 2.2) "the three algorithms differ
 // only in how the rectangles are ordered at each level"; the surrounding
 // bottom-up build is shared and lives in internal/rtree.
+//
+// All sorting goes through internal/psort: keys are precomputed once per
+// entry and the sort itself is a parallel merge sort with an index
+// tie-break, so every orderer produces byte-for-byte the same permutation
+// at any Workers setting.
 package pack
 
 import (
 	"math"
-	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"strtree/internal/hilbert"
 	"strtree/internal/node"
+	"strtree/internal/psort"
 )
 
 // NX is the Nearest-X packing order: rectangles sorted by the x-coordinate
@@ -25,40 +32,87 @@ import (
 // the x-coordinate of the rectangle's center is used"). Cheap to build, but
 // it packs long skinny nodes with huge perimeters, which is why the paper
 // finds it uncompetitive for region queries.
-type NX struct{}
+type NX struct {
+	// Workers > 1 sorts with that many goroutines; the output is identical
+	// for every setting.
+	Workers int
+}
 
 // Name implements rtree.Orderer.
 func (NX) Name() string { return "NX" }
 
 // Order implements rtree.Orderer.
-func (NX) Order(entries []node.Entry, n, level int) {
-	sortByCenter(entries, 0)
+func (o NX) Order(entries []node.Entry, n, level int) {
+	sortByCenter(entries, 0, normWorkers(o.Workers))
 }
 
 // YSort orders by the y-coordinate of the centers. It is NX rotated 90
 // degrees, included as an ablation control: any difference between NX and
 // YSort on a data set measures the set's axis anisotropy, not algorithm
 // quality.
-type YSort struct{}
+type YSort struct {
+	// Workers > 1 sorts with that many goroutines; the output is identical
+	// for every setting.
+	Workers int
+}
 
 // Name implements rtree.Orderer.
 func (YSort) Name() string { return "Y" }
 
 // Order implements rtree.Orderer.
-func (YSort) Order(entries []node.Entry, n, level int) {
+func (o YSort) Order(entries []node.Entry, n, level int) {
 	if len(entries) < 2 {
 		return
 	}
-	sortByCenter(entries, len(entries[0].Rect.Min)-1)
+	sortByCenter(entries, len(entries[0].Rect.Min)-1, normWorkers(o.Workers))
 }
 
-func sortByCenter(entries []node.Entry, axis int) {
-	if len(entries) < 2 {
+func sortByCenter(entries []node.Entry, axis, workers int) {
+	psort.ByCenter(entries, axis, workers)
+}
+
+func normWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// forEachSlab cuts [0, total) into consecutive slabs of the given size
+// (the last one short) and invokes fn for each, running up to workers
+// slabs concurrently. Slabs are disjoint, so the concurrent and
+// sequential schedules produce identical data.
+func forEachSlab(total, slab, workers int, fn func(start, end, idx int)) {
+	if workers <= 1 {
+		idx := 0
+		for start := 0; start < total; start += slab {
+			end := start + slab
+			if end > total {
+				end = total
+			}
+			fn(start, end, idx)
+			idx++
+		}
 		return
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		return entries[i].Rect.CenterAxis(axis) < entries[j].Rect.CenterAxis(axis)
-	})
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	idx := 0
+	for start := 0; start < total; start += slab {
+		end := start + slab
+		if end > total {
+			end = total
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(start, end, idx int) {
+			defer wg.Done()
+			fn(start, end, idx)
+			<-sem
+		}(start, end, idx)
+		idx++
+	}
+	wg.Wait()
 }
 
 // HS is the Hilbert-Sort packing order: rectangle centers sorted by their
@@ -74,6 +128,9 @@ type HS struct {
 	// hypothetical grid" — so points closer than the 31-bit grid still
 	// order correctly. Ignored for other dimensionalities.
 	Exact bool
+	// Workers > 1 computes Hilbert keys and sorts with that many
+	// goroutines; the output is identical for every setting.
+	Workers int
 }
 
 // Name implements rtree.Orderer.
@@ -84,9 +141,10 @@ func (h HS) Order(entries []node.Entry, n, level int) {
 	if len(entries) < 2 {
 		return
 	}
+	workers := normWorkers(h.Workers)
 	dims := entries[0].Rect.Dim()
 	if h.Exact && dims == 2 {
-		h.orderExact2D(entries)
+		h.orderExact2D(entries, workers)
 		return
 	}
 	order := 64 / dims
@@ -99,7 +157,6 @@ func (h HS) Order(entries []node.Entry, n, level int) {
 	// Fit the grid to the centers.
 	lo := make([]float64, dims)
 	hi := make([]float64, dims)
-	center := make([]float64, dims)
 	for d := 0; d < dims; d++ {
 		lo[d] = math.Inf(1)
 		hi[d] = math.Inf(-1)
@@ -115,24 +172,33 @@ func (h HS) Order(entries []node.Entry, n, level int) {
 	if err != nil {
 		// Bounds come from the data itself, so this is unreachable for
 		// valid entries; fall back to NX rather than corrupt the build.
-		sortByCenter(entries, 0)
+		sortByCenter(entries, 0, workers)
 		return
 	}
 	keys := make([]uint64, len(entries))
-	cell := make([]uint32, dims)
-	for i := range entries {
-		for d := 0; d < dims; d++ {
-			center[d] = entries[i].Rect.CenterAxis(d)
+	psort.Chunks(len(entries), workers, func(clo, chi int) {
+		center := make([]float64, dims)
+		cell := make([]uint32, dims)
+		for i := clo; i < chi; i++ {
+			for d := 0; d < dims; d++ {
+				center[d] = entries[i].Rect.CenterAxis(d)
+			}
+			m.CellInto(center, cell)
+			keys[i] = hilbert.Index(order, cell)
 		}
-		m.CellInto(center, cell)
-		keys[i] = hilbert.Index(order, cell)
-	}
-	sort.Sort(&keyed{keys: keys, entries: entries})
+	})
+	psort.ByKeys(entries, keys, workers)
+}
+
+// cell2 is an exact-mode Hilbert key: a 52-bit grid cell compared lazily
+// along the curve.
+type cell2 struct {
+	x, y uint64
 }
 
 // orderExact2D sorts by curve position using lazy 52-bit comparison, the
 // paper's in-practice method for arbitrary float coordinates.
-func (h HS) orderExact2D(entries []node.Entry) {
+func (h HS) orderExact2D(entries []node.Entry, workers int) {
 	const order = 52 // float64 mantissa precision
 	lo := [2]float64{math.Inf(1), math.Inf(1)}
 	hi := [2]float64{math.Inf(-1), math.Inf(-1)}
@@ -162,43 +228,26 @@ func (h HS) orderExact2D(entries []node.Entry) {
 		}
 	}
 	// Precompute the grid cells once, then sort with the lazy comparator.
-	xs := make([]uint64, len(entries))
-	ys := make([]uint64, len(entries))
-	for i := range entries {
-		xs[i] = cell(&entries[i], 0)
-		ys[i] = cell(&entries[i], 1)
-	}
-	sort.Sort(&cellKeyed{xs: xs, ys: ys, entries: entries})
+	keys := make([]cell2, len(entries))
+	psort.Chunks(len(entries), workers, func(clo, chi int) {
+		for i := clo; i < chi; i++ {
+			keys[i] = cell2{x: cell(&entries[i], 0), y: cell(&entries[i], 1)}
+		}
+	})
+	psort.ByKeysFunc(entries, keys, func(a, b cell2) int {
+		return hilbert.Compare2D(order, a.x, a.y, b.x, b.y)
+	}, workers)
 }
 
-// cellKeyed sorts entries by Hilbert curve position of parallel cell
-// coordinates, compared lazily.
-type cellKeyed struct {
-	xs, ys  []uint64
-	entries []node.Entry
-}
-
-func (c *cellKeyed) Len() int { return len(c.xs) }
-func (c *cellKeyed) Less(i, j int) bool {
-	return hilbert.Compare2D(52, c.xs[i], c.ys[i], c.xs[j], c.ys[j]) < 0
-}
-func (c *cellKeyed) Swap(i, j int) {
-	c.xs[i], c.xs[j] = c.xs[j], c.xs[i]
-	c.ys[i], c.ys[j] = c.ys[j], c.ys[i]
-	c.entries[i], c.entries[j] = c.entries[j], c.entries[i]
-}
-
-// keyed sorts entries by parallel precomputed keys.
-type keyed struct {
-	keys    []uint64
-	entries []node.Entry
-}
-
-func (k *keyed) Len() int           { return len(k.keys) }
-func (k *keyed) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
-func (k *keyed) Swap(i, j int) {
-	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
-	k.entries[i], k.entries[j] = k.entries[j], k.entries[i]
+// STRTiming accumulates the wall time an STR build spends in its two
+// ordering phases, for strbench's per-phase breakdown. Counters are
+// atomic so one STRTiming can be shared across levels and goroutines.
+type STRTiming struct {
+	// SortNanos is the time in the dominant first-axis sort.
+	SortNanos atomic.Int64
+	// TileNanos is the time spent tiling: slab partitioning plus the
+	// per-slab sorts on the remaining axes.
+	TileNanos atomic.Int64
 }
 
 // STR is the paper's Sort-Tile-Recursive packing order.
@@ -211,11 +260,13 @@ func (k *keyed) Swap(i, j int) {
 // into S = ceil(P^(1/k)) slabs of n*ceil(P^((k-1)/k)) rectangles, each
 // processed recursively as a (k-1)-dimensional data set.
 type STR struct {
-	// Workers > 1 sorts slabs concurrently (the parallel packing the
-	// paper's future-work section anticipates). Slab contents are
-	// independent after the partitioning sort, so the resulting order is
-	// identical to the sequential one.
+	// Workers > 1 parallelizes the first-axis sort through the psort
+	// kernel and sorts slabs concurrently (the parallel packing the
+	// paper's future-work section anticipates). The resulting order is
+	// identical for every setting.
 	Workers int
+	// Timing, when non-nil, accumulates per-phase wall time.
+	Timing *STRTiming
 }
 
 // Name implements rtree.Orderer.
@@ -230,51 +281,60 @@ func (s STR) Order(entries []node.Entry, n, level int) {
 		//strlint:ignore panics documented contract: a capacity below 1 is a builder bug, not a data condition
 		panic("pack: node capacity < 1")
 	}
-	s.tile(entries, n, 0, entries[0].Rect.Dim())
-}
-
-// tile applies the STR step for one axis and recurses on each slab.
-func (s STR) tile(entries []node.Entry, n, axis, dims int) {
-	rem := dims - axis // coordinates still to process
-	if rem <= 1 {
-		sortByCenter(entries, axis)
+	dims := entries[0].Rect.Dim()
+	t0 := time.Now()
+	sortByCenter(entries, 0, s.workers())
+	if s.Timing != nil {
+		s.Timing.SortNanos.Add(int64(time.Since(t0)))
+	}
+	if dims <= 1 {
 		return
 	}
-	sortByCenter(entries, axis)
-	p := (len(entries) + n - 1) / n // pages needed for this set
+	t0 = time.Now()
+	s.slabs(entries, n, 0, dims)
+	if s.Timing != nil {
+		s.Timing.TileNanos.Add(int64(time.Since(t0)))
+	}
+}
+
+// slabs cuts entries (already sorted on axis) into the STR slab sizes and
+// tiles each slab over the remaining axes. Slab contents are independent
+// after the partitioning sort, so slabs run concurrently (sequentially
+// inside each) with output identical to the sequential schedule.
+func (s STR) slabs(entries []node.Entry, n, axis, dims int) {
+	rem := dims - axis // coordinates still to process
+	p := (len(entries) + n - 1) / n
 	// Slab size: n * ceil(P^((rem-1)/rem)) consecutive rectangles.
 	slab := n * ceilPow(p, float64(rem-1)/float64(rem))
 	if slab < n {
 		slab = n
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.workers())
-	for start := 0; start < len(entries); start += slab {
-		end := start + slab
-		if end > len(entries) {
-			end = len(entries)
-		}
-		part := entries[start:end]
-		if s.workers() == 1 {
-			s.tile(part, n, axis+1, dims)
-			continue
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			s.tile(part, n, axis+1, dims)
-			<-sem
-		}()
+	forEachSlab(len(entries), slab, s.workers(), func(start, end, _ int) {
+		s.tile(entries[start:end], n, axis+1, dims)
+	})
+}
+
+// tile applies the STR step for one axis and recurses on each slab.
+// It always runs sequentially: concurrency comes from the slab pool one
+// level up, which keeps the schedule simple and the output deterministic.
+func (s STR) tile(entries []node.Entry, n, axis, dims int) {
+	rem := dims - axis
+	sortByCenter(entries, axis, 1)
+	if rem <= 1 {
+		return
 	}
-	wg.Wait()
+	p := (len(entries) + n - 1) / n
+	slab := n * ceilPow(p, float64(rem-1)/float64(rem))
+	if slab < n {
+		slab = n
+	}
+	forEachSlab(len(entries), slab, 1, func(start, end, _ int) {
+		s.tile(entries[start:end], n, axis+1, dims)
+	})
 }
 
 func (s STR) workers() int {
-	if s.Workers < 1 {
-		return 1
-	}
-	return s.Workers
+	return normWorkers(s.Workers)
 }
 
 // ceilPow returns ceil(p^e) guarded against floating-point error for exact
@@ -289,38 +349,37 @@ func ceilPow(p int, e float64) int {
 // refinement of STR (in the spirit of the paper's future-work search for
 // better orders) and is measured by the ablation benchmarks. Only the 2-D
 // case differs from STR; higher dimensions fall back to plain STR.
-type Serpentine struct{}
+type Serpentine struct {
+	// Workers > 1 parallelizes the x-sort and runs slices concurrently;
+	// the output is identical for every setting.
+	Workers int
+}
 
 // Name implements rtree.Orderer.
 func (Serpentine) Name() string { return "STR-serp" }
 
 // Order implements rtree.Orderer.
-func (Serpentine) Order(entries []node.Entry, n, level int) {
+func (o Serpentine) Order(entries []node.Entry, n, level int) {
 	if len(entries) < 2 {
 		return
 	}
+	workers := normWorkers(o.Workers)
 	if entries[0].Rect.Dim() != 2 {
-		STR{}.Order(entries, n, level)
+		STR{Workers: o.Workers}.Order(entries, n, level)
 		return
 	}
-	sortByCenter(entries, 0)
+	sortByCenter(entries, 0, workers)
 	p := (len(entries) + n - 1) / n
 	slab := n * ceilPow(p, 0.5)
-	flip := false
-	for start := 0; start < len(entries); start += slab {
-		end := start + slab
-		if end > len(entries) {
-			end = len(entries)
-		}
+	forEachSlab(len(entries), slab, workers, func(start, end, idx int) {
 		part := entries[start:end]
-		sortByCenter(part, 1)
-		if flip {
+		sortByCenter(part, 1, 1)
+		if idx%2 == 1 {
 			for i, j := 0, len(part)-1; i < j; i, j = i+1, j-1 {
 				part[i], part[j] = part[j], part[i]
 			}
 		}
-		flip = !flip
-	}
+	})
 }
 
 // SliceFactor scales the number of STR slices by Num/Den, for the ablation
@@ -328,6 +387,9 @@ func (Serpentine) Order(entries []node.Entry, n, level int) {
 // 1/1 reproduces STR exactly.
 type SliceFactor struct {
 	Num, Den int
+	// Workers > 1 parallelizes the x-sort and runs slices concurrently;
+	// the output is identical for every setting.
+	Workers int
 }
 
 // Name implements rtree.Orderer.
@@ -338,6 +400,7 @@ func (f SliceFactor) Order(entries []node.Entry, n, level int) {
 	if len(entries) < 2 {
 		return
 	}
+	workers := normWorkers(f.Workers)
 	num, den := f.Num, f.Den
 	if num < 1 {
 		num = 1
@@ -345,7 +408,7 @@ func (f SliceFactor) Order(entries []node.Entry, n, level int) {
 	if den < 1 {
 		den = 1
 	}
-	sortByCenter(entries, 0)
+	sortByCenter(entries, 0, workers)
 	p := (len(entries) + n - 1) / n
 	slices := ceilPow(p, 0.5) * num / den
 	if slices < 1 {
@@ -355,11 +418,7 @@ func (f SliceFactor) Order(entries []node.Entry, n, level int) {
 	// Round the slab to whole nodes so only the final node per slice can
 	// be short.
 	slab = ((slab + n - 1) / n) * n
-	for start := 0; start < len(entries); start += slab {
-		end := start + slab
-		if end > len(entries) {
-			end = len(entries)
-		}
-		sortByCenter(entries[start:end], 1)
-	}
+	forEachSlab(len(entries), slab, workers, func(start, end, _ int) {
+		sortByCenter(entries[start:end], 1, 1)
+	})
 }

@@ -2,6 +2,7 @@ package pack
 
 import (
 	"math"
+	"sync"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
@@ -24,6 +25,10 @@ type TGS struct {
 	// UseMargin selects perimeter as the split cost instead of area.
 	// García et al. examine both; area is the default.
 	UseMargin bool
+	// Workers > 1 parallelizes the candidate-cut sorts and recurses on
+	// the two halves concurrently; the output is identical for every
+	// setting because the halves are disjoint after the cut.
+	Workers int
 }
 
 // Name implements rtree.Orderer.
@@ -43,25 +48,39 @@ func (t TGS) Order(entries []node.Entry, n, level int) {
 		//strlint:ignore panics documented contract: a capacity below 1 is a builder bug, not a data condition
 		panic("pack: node capacity < 1")
 	}
-	t.split(entries, n)
+	t.split(entries, n, normWorkers(t.Workers))
 }
 
 // split recursively partitions entries (destined for ceil(len/n) nodes)
-// until each partition fits one node.
-func (t TGS) split(entries []node.Entry, n int) {
+// until each partition fits one node. The two halves are disjoint, so
+// they recurse concurrently when workers remain.
+func (t TGS) split(entries []node.Entry, n, workers int) {
 	if len(entries) <= n {
 		return
 	}
 	// Split points must keep the left side a multiple of the node size so
 	// packed nodes stay full.
-	cut := t.bestCut(entries, n)
-	t.split(entries[:cut], n)
-	t.split(entries[cut:], n)
+	cut := t.bestCut(entries, n, workers)
+	left, right := entries[:cut], entries[cut:]
+	if workers > 1 && len(left) > n && len(right) > n {
+		lw := workers / 2
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.split(left, n, lw)
+		}()
+		t.split(right, n, workers-lw)
+		wg.Wait()
+		return
+	}
+	t.split(left, n, workers)
+	t.split(right, n, workers)
 }
 
 // bestCut reorders entries along the best axis and returns the best
 // node-aligned split position.
-func (t TGS) bestCut(entries []node.Entry, n int) int {
+func (t TGS) bestCut(entries []node.Entry, n, workers int) int {
 	dims := entries[0].Rect.Dim()
 	nodes := (len(entries) + n - 1) / n
 	// Candidate cuts: multiples of n. To bound the O(axes * cuts * N)
@@ -69,7 +88,7 @@ func (t TGS) bestCut(entries []node.Entry, n int) int {
 	bestAxis, bestCutIdx := 0, 1
 	bestCost := math.Inf(1)
 	for d := 0; d < dims; d++ {
-		sortByCenter(entries, d)
+		sortByCenter(entries, d, workers)
 		prefix := prefixMBRs(entries, n)
 		suffix := suffixMBRs(entries, n)
 		for k := 1; k < nodes; k++ {
@@ -83,7 +102,7 @@ func (t TGS) bestCut(entries []node.Entry, n int) int {
 	if bestAxis != dims-1 {
 		// Entries are currently sorted by the last axis examined; restore
 		// the winning order.
-		sortByCenter(entries, bestAxis)
+		sortByCenter(entries, bestAxis, workers)
 	}
 	return bestCutIdx * n
 }

@@ -1,0 +1,297 @@
+// Package psort is the parallel sort kernel behind every packing order.
+//
+// The paper's bottom line — "the cost of sorting dominates the cost of the
+// packing step" — makes the sort the one phase worth parallelizing. The
+// kernel sorts entries by a key precomputed once per entry (a center
+// coordinate mapped to order-preserving bits, or a Hilbert index), so the
+// hot comparison is two loads and an integer compare instead of the
+// closure-plus-interface-dispatch CenterAxis call sort.Slice paid per
+// comparison. Work is split across workers as a merge sort: each worker
+// sorts a contiguous chunk of (key, index) pairs with slices.SortFunc,
+// then chunks are merged pairwise, each merge itself split across workers
+// by binary-searching the merge midpoint.
+//
+// Determinism: ties on the key are broken by the entry's original index,
+// which makes the (key, index) order a strict total order. The sorted
+// sequence is therefore unique — the kernel's output is byte-for-byte
+// identical for every worker count, and equal to a sequential stable sort
+// by key. Packed trees built at Workers=1 and Workers=64 are the same
+// tree.
+package psort
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"strtree/internal/node"
+)
+
+const (
+	// seqMin is the input size below which sorting runs sequentially: the
+	// goroutine handoff costs more than it saves.
+	seqMin = 4096
+	// mergeSeqMin is the merge piece below which a merge stops splitting.
+	mergeSeqMin = 2048
+)
+
+// pair carries one precomputed key and the index of the entry it belongs
+// to. idx doubles as the deterministic tie-break.
+type pair[K any] struct {
+	key K
+	idx int64
+}
+
+// Float64Key maps a float64 to a uint64 whose unsigned order equals the
+// float order (negatives below positives, -Inf first, +Inf last). The two
+// zeros share one key, matching float comparison where -0 == +0; NaNs get
+// keys at the extremes, giving them a fixed deterministic position where
+// comparison-based sorts leave their order unspecified.
+func Float64Key(f float64) uint64 {
+	//strlint:ignore floateq collapsing -0 onto +0 is the point: the two zeros must share a key
+	if f == 0 {
+		return 1 << 63
+	}
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// ByCenter permutes entries into ascending order of the center coordinate
+// along one axis — the ordering every STR, NX and Y phase uses. Equivalent
+// to a stable sort; identical output for every worker count.
+func ByCenter(entries []node.Entry, axis, workers int) {
+	if len(entries) < 2 {
+		return
+	}
+	keys := make([]uint64, len(entries))
+	Chunks(len(entries), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = Float64Key(entries[i].Rect.CenterAxis(axis))
+		}
+	})
+	ByKeys(entries, keys, workers)
+}
+
+// ByKeys permutes entries into ascending order of their parallel uint64
+// keys, ties broken by original position (a stable sort by key). keys is
+// consumed as scratch. Identical output for every worker count.
+func ByKeys(entries []node.Entry, keys []uint64, workers int) {
+	ByKeysFunc(entries, keys, func(a, b uint64) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}, workers)
+}
+
+// ByKeysFunc is ByKeys for arbitrary key types: cmp must be a total
+// preorder on K (ties are fine — the kernel breaks them by index). Used by
+// the exact Hilbert order, whose key is a grid cell compared lazily.
+func ByKeysFunc[K any](entries []node.Entry, keys []K, cmp func(a, b K) int, workers int) {
+	n := len(entries)
+	if n != len(keys) {
+		//strlint:ignore panics documented contract: mismatched key and entry slices are a caller bug, not a data condition
+		panic("psort: len(keys) != len(entries)")
+	}
+	if n < 2 {
+		return
+	}
+	ps := make([]pair[K], n)
+	Chunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ps[i] = pair[K]{key: keys[i], idx: int64(i)}
+		}
+	})
+	pc := func(a, b pair[K]) int {
+		if c := cmp(a.key, b.key); c != 0 {
+			return c
+		}
+		// Unique index tie-break: the total order whose sorted sequence is
+		// the stable sort by key, independent of chunking and workers.
+		switch {
+		case a.idx < b.idx:
+			return -1
+		case a.idx > b.idx:
+			return 1
+		default:
+			return 0
+		}
+	}
+	sorted := sortPairs(ps, pc, workers)
+	tmp := make([]node.Entry, n)
+	Chunks(n, workers, func(lo, hi int) {
+		copy(tmp[lo:hi], entries[lo:hi])
+	})
+	Chunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			entries[i] = tmp[sorted[i].idx]
+		}
+	})
+}
+
+// Chunks invokes f over consecutive [lo, hi) ranges covering [0, n),
+// concurrently when workers > 1 and n is worth splitting. Exported for
+// callers that precompute keys (e.g. the Hilbert packers).
+func Chunks(n, workers int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < seqMin {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sortPairs sorts ps by pc (a strict total order thanks to the index
+// tie-break) and returns the sorted slice, which is either ps itself or
+// scratch storage of the same length.
+func sortPairs[K any](ps []pair[K], pc func(a, b pair[K]) int, workers int) []pair[K] {
+	n := len(ps)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < seqMin {
+		slices.SortFunc(ps, pc)
+		return ps
+	}
+
+	// Chunk sorts: workers contiguous ranges, each sorted independently.
+	offs := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		offs[w] = n * w / workers
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := offs[w], offs[w+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			slices.SortFunc(ps[lo:hi], pc)
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Pairwise merge rounds, runs merged left to right so the result is
+	// the unique sorted order whatever the chunk count was.
+	scratch := make([]pair[K], n)
+	src, dst := ps, scratch
+	for len(offs) > 2 {
+		next := make([]int, 0, len(offs)/2+2)
+		merges := (len(offs) - 1) / 2
+		per := workers / merges
+		if per < 1 {
+			per = 1
+		}
+		var mw sync.WaitGroup
+		i := 0
+		for ; i+2 < len(offs); i += 2 {
+			a, b, c := offs[i], offs[i+1], offs[i+2]
+			next = append(next, a)
+			mw.Add(1)
+			go func(a, b, c int) {
+				defer mw.Done()
+				mergeInto(dst[a:c], src[a:b], src[b:c], pc, per)
+			}(a, b, c)
+		}
+		if i+1 < len(offs) {
+			// Odd run out: carry it to the next round unmerged.
+			a, b := offs[i], offs[i+1]
+			next = append(next, a)
+			mw.Add(1)
+			go func(a, b int) {
+				defer mw.Done()
+				copy(dst[a:b], src[a:b])
+			}(a, b)
+		}
+		next = append(next, n)
+		mw.Wait()
+		offs = next
+		src, dst = dst, src
+	}
+	return src
+}
+
+// mergeInto merges sorted runs a and b into dst (len(dst) = len(a) +
+// len(b)), splitting the work into up to pieces parallel parts by binary
+// searching the merge midpoint.
+func mergeInto[K any](dst, a, b []pair[K], pc func(x, y pair[K]) int, pieces int) {
+	if pieces > 1 && len(dst) > mergeSeqMin {
+		half := len(dst) / 2
+		i := mergeSplit(a, b, half, pc)
+		j := half - i
+		var wg sync.WaitGroup
+		wg.Add(1)
+		left := pieces / 2
+		if left < 1 {
+			left = 1
+		}
+		go func() {
+			defer wg.Done()
+			mergeInto(dst[:half], a[:i], b[:j], pc, left)
+		}()
+		mergeInto(dst[half:], a[i:], b[j:], pc, pieces-left)
+		wg.Wait()
+		return
+	}
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if pc(a[i], b[j]) <= 0 {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
+// mergeSplit returns i such that taking a[:i] and b[:k-i] yields the k
+// smallest elements of the merged sequence — the classic two-sorted-arrays
+// selection, well defined because pc is a strict total order.
+func mergeSplit[K any](a, b []pair[K], k int, pc func(x, y pair[K]) int) int {
+	lo, hi := k-len(b), len(a)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > k {
+		hi = k
+	}
+	for lo < hi {
+		i := int(uint(lo+hi) >> 1)
+		if pc(a[i], b[k-i-1]) < 0 {
+			lo = i + 1
+		} else {
+			hi = i
+		}
+	}
+	return lo
+}

@@ -1,0 +1,218 @@
+package psort
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+// refByKeys is the specification: a sequential stable sort by key.
+func refByKeys(entries []node.Entry, keys []uint64) {
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case keys[a] < keys[b]:
+			return -1
+		case keys[a] > keys[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
+	out := make([]node.Entry, len(entries))
+	for i, j := range idx {
+		out[i] = entries[j]
+	}
+	copy(entries, out)
+}
+
+func randomEntries(n int, keySpace uint64, seed int64) ([]node.Entry, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]node.Entry, n)
+	keys := make([]uint64, n)
+	for i := range entries {
+		x := rng.Float64()
+		entries[i] = node.Entry{Rect: geom.R2(x, rng.Float64(), x+0.1, rng.Float64()+1), Ref: uint64(i)}
+		keys[i] = rng.Uint64() % keySpace
+	}
+	return entries, keys
+}
+
+func sameEntries(t *testing.T, got, want []node.Entry, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Ref != want[i].Ref || !got[i].Rect.Equal(want[i].Rect) {
+			t.Fatalf("%s: entry %d: got Ref=%d want Ref=%d", label, i, got[i].Ref, want[i].Ref)
+		}
+	}
+}
+
+// TestByKeysMatchesStableSort checks the kernel against the sequential
+// stable-sort specification across sizes, key densities (heavy ties
+// included) and worker counts — the determinism contract.
+func TestByKeysMatchesStableSort(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 100, 1000, seqMin - 1, seqMin, seqMin + 1, 3*seqMin + 17, 50000} {
+		for _, keySpace := range []uint64{1, 2, 7, 1 << 20, math.MaxUint64} {
+			want, keys := randomEntries(n, keySpace, int64(n)*31+int64(keySpace%97))
+			wantKeys := slices.Clone(keys)
+			refByKeys(want, wantKeys)
+			for _, workers := range []int{1, 2, 3, 4, 8, 16, 61} {
+				got, gotKeys := randomEntries(n, keySpace, int64(n)*31+int64(keySpace%97))
+				ByKeys(got, gotKeys, workers)
+				sameEntries(t, got, want, "n="+itoa(n)+" space="+itoa(int(keySpace%1000))+" w="+itoa(workers))
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestByCenter checks the center ordering itself and that every worker
+// count produces the same permutation.
+func TestByCenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 20000
+	base := make([]node.Entry, n)
+	for i := range base {
+		// Coarse grid so duplicate centers are common.
+		x := float64(rng.Intn(64))
+		y := rng.Float64()
+		base[i] = node.Entry{Rect: geom.R2(x, y, x+2, y+1), Ref: uint64(i)}
+	}
+	want := slices.Clone(base)
+	ByCenter(want, 0, 1)
+	for i := 1; i < len(want); i++ {
+		a, b := want[i-1].Rect.CenterAxis(0), want[i].Rect.CenterAxis(0)
+		if a > b {
+			t.Fatalf("not sorted at %d: %v > %v", i, a, b)
+		}
+		//strlint:ignore floateq exact equality detects the tie runs whose stability is under test
+		if a == b && want[i-1].Ref > want[i].Ref {
+			t.Fatalf("tie at %d not in original order: %d before %d", i, want[i-1].Ref, want[i].Ref)
+		}
+	}
+	for _, workers := range []int{2, 4, 8, 32} {
+		got := slices.Clone(base)
+		ByCenter(got, 0, workers)
+		sameEntries(t, got, want, "workers="+itoa(workers))
+	}
+}
+
+// TestFloat64Key checks the order-preserving bit mapping, including the
+// signed-zero collapse.
+func TestFloat64Key(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -2.5, -1, -math.SmallestNonzeroFloat64,
+		0, 1e-300, 1, 2.5, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if Float64Key(vals[i-1]) >= Float64Key(vals[i]) {
+			t.Fatalf("key order broken between %v and %v", vals[i-1], vals[i])
+		}
+	}
+	if Float64Key(math.Copysign(0, -1)) != Float64Key(0) {
+		t.Fatalf("-0 and +0 must share a key")
+	}
+}
+
+// TestByKeysFuncLazyComparator exercises the generic path with a
+// struct key and a comparator, as the exact Hilbert order uses it.
+func TestByKeysFuncLazyComparator(t *testing.T) {
+	type xy struct{ x, y uint64 }
+	rng := rand.New(rand.NewSource(4))
+	n := 30000
+	entries := make([]node.Entry, n)
+	keys := make([]xy, n)
+	for i := range entries {
+		entries[i] = node.Entry{Rect: geom.R2(0, 0, 1, 1), Ref: uint64(i)}
+		keys[i] = xy{rng.Uint64() % 16, rng.Uint64() % 16}
+	}
+	cmp := func(a, b xy) int {
+		if a.x != b.x {
+			if a.x < b.x {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.y < b.y:
+			return -1
+		case a.y > b.y:
+			return 1
+		default:
+			return 0
+		}
+	}
+	want := slices.Clone(entries)
+	wantKeys := slices.Clone(keys)
+	ByKeysFunc(want, wantKeys, cmp, 1)
+	for _, workers := range []int{2, 8, 16} {
+		got := slices.Clone(entries)
+		gotKeys := slices.Clone(keys)
+		ByKeysFunc(got, gotKeys, cmp, workers)
+		sameEntries(t, got, want, "workers="+itoa(workers))
+	}
+}
+
+// TestChunksCovers checks the parallel range helper covers [0, n) exactly
+// once for awkward worker/size combinations.
+func TestChunksCovers(t *testing.T) {
+	for _, n := range []int{0, 1, 5, seqMin, seqMin + 3, 100003} {
+		for _, workers := range []int{1, 2, 3, 7, 64, 100005} {
+			hits := make([]int32, n)
+			var mu chan struct{} = make(chan struct{}, 1)
+			mu <- struct{}{}
+			Chunks(n, workers, func(lo, hi int) {
+				<-mu
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+				mu <- struct{}{}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkByCenter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	entries := make([]node.Entry, 1<<20)
+	for i := range entries {
+		x, y := rng.Float64(), rng.Float64()
+		entries[i] = node.Entry{Rect: geom.R2(x, y, x+0.01, y+0.01), Ref: uint64(i)}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			work := make([]node.Entry, len(entries))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, entries)
+				ByCenter(work, 0, workers)
+			}
+		})
+	}
+}

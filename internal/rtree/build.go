@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"fmt"
+	"time"
 
 	"strtree/internal/node"
 	"strtree/internal/storage"
@@ -21,6 +22,22 @@ type Orderer interface {
 	Name() string
 }
 
+// BuildStats reports where the last bulk load on a Tree spent its time.
+type BuildStats struct {
+	// Order is the wall time inside Orderer.Order across all levels.
+	Order time.Duration
+	// Write is the cumulative time serializing nodes onto pages. With
+	// Workers > 1 the writes run behind the packing, so Write overlaps
+	// Order instead of adding to the build's wall time.
+	Write time.Duration
+	// Pages is the number of node pages written.
+	Pages int
+}
+
+// LastBuildStats returns the phase breakdown of the most recent BulkLoad
+// or BulkLoadOrdered on this Tree (zero if none ran).
+func (t *Tree) LastBuildStats() BuildStats { return t.buildStats }
+
 // BulkLoad builds the tree bottom-up from the given data entries following
 // the paper's General Algorithm:
 //
@@ -33,8 +50,9 @@ type Orderer interface {
 // Packed nodes are filled to exactly n entries (the last node per level may
 // hold fewer), which yields the near-100% space utilization the paper
 // credits packing for. The tree must be empty. The input slice is permuted
-// in place.
-func (t *Tree) BulkLoad(entries []node.Entry, o Orderer) error {
+// in place. With Workers > 1, page writes run behind the packing on a
+// background goroutine; the resulting tree bytes are identical either way.
+func (t *Tree) BulkLoad(entries []node.Entry, o Orderer) (err error) {
 	if t.height != 0 {
 		return ErrNotEmpty
 	}
@@ -46,13 +64,22 @@ func (t *Tree) BulkLoad(entries []node.Entry, o Orderer) error {
 	if len(entries) == 0 {
 		return t.writeMeta()
 	}
+	w := t.newPageWriter()
+	defer func() {
+		if cerr := w.close(); err == nil {
+			err = cerr
+		}
+	}()
+	var stats BuildStats
 	level := 0
 	cur := entries
 	for {
+		t0 := time.Now()
 		o.Order(cur, t.capacity, level)
-		parents, err := t.packLevel(cur, level)
-		if err != nil {
-			return err
+		stats.Order += time.Since(t0)
+		parents, perr := t.packLevel(w, cur, level)
+		if perr != nil {
+			return perr
 		}
 		if len(parents) == 1 {
 			t.root = storage.PageID(parents[0].Ref)
@@ -62,31 +89,39 @@ func (t *Tree) BulkLoad(entries []node.Entry, o Orderer) error {
 		cur = parents
 		level++
 	}
+	if cerr := w.close(); cerr != nil {
+		return cerr
+	}
 	t.count = uint64(len(entries))
+	stats.Write = w.writeTime()
+	stats.Pages = w.pages
+	t.buildStats = stats
 	return t.Flush()
 }
 
-// packLevel writes the ordered entries into nodes of capacity t.capacity at
-// the given level and returns the parent entries (MBR, page) for the next
-// level up.
-func (t *Tree) packLevel(entries []node.Entry, level int) ([]node.Entry, error) {
+// packLevel cuts the ordered entries into nodes of capacity t.capacity at
+// the given level, emits each through the page writer, and returns the
+// parent entries (MBR, page) for the next level up. The MBR is computed
+// before emitting because emit transfers ownership of the entry slice to
+// the (possibly asynchronous) writer.
+func (t *Tree) packLevel(w *pageWriter, entries []node.Entry, level int) ([]node.Entry, error) {
 	numNodes := (len(entries) + t.capacity - 1) / t.capacity
 	parents := make([]node.Entry, 0, numNodes)
-	n := node.Node{Level: level, Dims: t.dims}
 	for start := 0; start < len(entries); start += t.capacity {
 		end := start + t.capacity
 		if end > len(entries) {
 			end = len(entries)
 		}
-		n.Entries = entries[start:end]
+		n := node.Node{Level: level, Dims: t.dims, Entries: entries[start:end]}
 		id, err := t.newPage()
 		if err != nil {
 			return nil, err
 		}
-		if err := t.writeNode(id, &n); err != nil {
+		mbr := n.MBR()
+		if err := w.emit(id, &n, false); err != nil {
 			return nil, err
 		}
-		parents = append(parents, node.Entry{Rect: n.MBR(), Ref: uint64(id)})
+		parents = append(parents, node.Entry{Rect: mbr, Ref: uint64(id)})
 	}
 	return parents, nil
 }

@@ -2,7 +2,7 @@ package rtree
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
@@ -182,7 +182,16 @@ func evictFarthest(n *node.Node, count int) []node.Entry {
 		}
 		scores[i] = scored{idx: i, dist: d}
 	}
-	sort.Slice(scores, func(i, j int) bool { return scores[i].dist > scores[j].dist })
+	slices.SortFunc(scores, func(a, b scored) int {
+		switch {
+		case a.dist > b.dist:
+			return -1
+		case a.dist < b.dist:
+			return 1
+		default:
+			return 0
+		}
+	})
 	evictSet := make(map[int]bool, count)
 	for _, s := range scores[:count] {
 		evictSet[s.idx] = true

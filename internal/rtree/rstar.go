@@ -1,8 +1,9 @@
 package rtree
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
@@ -70,15 +71,19 @@ func splitRStar(entries []node.Entry, minFill int) (left, right []node.Entry) {
 }
 
 func sortAxis(entries []node.Entry, axis int, byUpper bool) {
-	sort.SliceStable(entries, func(i, j int) bool {
+	key := func(e node.Entry) float64 {
 		if byUpper {
-			return entries[i].Rect.Max[axis] < entries[j].Rect.Max[axis]
+			return e.Rect.Max[axis]
 		}
-		//strlint:ignore floateq exact tie-break keeping the stable sort deterministic
-		if entries[i].Rect.Min[axis] != entries[j].Rect.Min[axis] {
-			return entries[i].Rect.Min[axis] < entries[j].Rect.Min[axis]
+		return e.Rect.Min[axis]
+	}
+	slices.SortStableFunc(entries, func(a, b node.Entry) int {
+		if c := cmp.Compare(key(a), key(b)); c != 0 || byUpper {
+			return c
 		}
-		return entries[i].Rect.Max[axis] < entries[j].Rect.Max[axis]
+		// Lower-bound ties break on the upper bound, keeping the stable
+		// sort deterministic.
+		return cmp.Compare(a.Rect.Max[axis], b.Rect.Max[axis])
 	})
 }
 

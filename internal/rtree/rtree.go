@@ -66,6 +66,12 @@ type Config struct {
 	// of its entries farthest from the node center are reinserted instead
 	// of splitting, which keeps MBRs tighter under dynamic load.
 	ForcedReinsert bool
+	// Workers bounds the goroutines bulk loads may use (write-behind page
+	// emission; packers add their own sort parallelism on top). It is a
+	// runtime knob, not persisted: trees reopened later default to 1.
+	// Values < 1 mean 1. The packed tree bytes are identical for every
+	// setting.
+	Workers int
 }
 
 // Tree is a paged R-tree. All page access goes through the buffer manager,
@@ -84,6 +90,8 @@ type Tree struct {
 	minFill        int
 	split          SplitAlgorithm
 	forcedReinsert bool
+	workers        int
+	buildStats     BuildStats
 
 	metaPage storage.PageID
 	root     storage.PageID
@@ -154,6 +162,10 @@ func CreateAt(pool buffer.Manager, cfg Config) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	t := &Tree{
 		pool:           pool,
 		dims:           cfg.Dims,
@@ -161,6 +173,7 @@ func CreateAt(pool buffer.Manager, cfg Config) (*Tree, error) {
 		minFill:        cfg.MinFill,
 		split:          cfg.Split,
 		forcedReinsert: cfg.ForcedReinsert,
+		workers:        workers,
 		metaPage:       f.ID(),
 		root:           storage.NilPage,
 	}
@@ -186,12 +199,25 @@ func OpenAt(pool buffer.Manager, metaPage storage.PageID) (*Tree, error) {
 		return nil, err
 	}
 	defer pool.Release(f)
-	t := &Tree{pool: pool, metaPage: metaPage}
+	t := &Tree{pool: pool, metaPage: metaPage, workers: 1}
 	if err := t.decodeMeta(f.Data()); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
+
+// SetWorkers adjusts the bulk-load goroutine bound (values < 1 mean 1) —
+// the runtime counterpart of Config.Workers for reopened trees. It must
+// not be called while a bulk load runs.
+func (t *Tree) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	t.workers = w
+}
+
+// Workers returns the tree's bulk-load goroutine bound.
+func (t *Tree) Workers() int { return t.workers }
 
 // MetaPage returns the page holding the tree's metadata.
 func (t *Tree) MetaPage() storage.PageID { return t.metaPage }

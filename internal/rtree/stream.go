@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"fmt"
+	"time"
 
 	"strtree/internal/node"
 	"strtree/internal/storage"
@@ -12,11 +13,19 @@ import (
 // Only one node of leaf entries plus the parent entries of the levels
 // above are held in memory — at fan-out 100 that is under 2% of the data
 // set — so trees can be packed from inputs far larger than RAM. Levels
-// above the leaves are ordered by o, exactly as in BulkLoad.
-func (t *Tree) BulkLoadOrdered(next func() (node.Entry, bool, error), o Orderer) error {
+// above the leaves are ordered by o, exactly as in BulkLoad. With
+// Workers > 1, finished leaves are written behind the stream consumption;
+// the resulting tree bytes are identical either way.
+func (t *Tree) BulkLoadOrdered(next func() (node.Entry, bool, error), o Orderer) (err error) {
 	if t.height != 0 {
 		return ErrNotEmpty
 	}
+	w := t.newPageWriter()
+	defer func() {
+		if cerr := w.close(); err == nil {
+			err = cerr
+		}
+	}()
 	var (
 		parents []node.Entry
 		n       = node.Node{Level: 0, Dims: t.dims}
@@ -30,34 +39,38 @@ func (t *Tree) BulkLoadOrdered(next func() (node.Entry, bool, error), o Orderer)
 		if err != nil {
 			return err
 		}
-		if err := t.writeNode(id, &n); err != nil {
+		// The MBR must be taken before emit: the entry buffer rides the
+		// job into the background writer, which recycles it via the free
+		// list once the page is on disk.
+		mbr := n.MBR()
+		if err := w.emit(id, &n, true); err != nil {
 			return err
 		}
-		parents = append(parents, node.Entry{Rect: n.MBR(), Ref: uint64(id)})
-		n.Entries = n.Entries[:0]
+		parents = append(parents, node.Entry{Rect: mbr, Ref: uint64(id)})
+		n.Entries = w.recycleOrNew(n.Entries, t.capacity)
 		return nil
 	}
 	for {
-		e, ok, err := next()
-		if err != nil {
-			return err
+		e, ok, rerr := next()
+		if rerr != nil {
+			return rerr
 		}
 		if !ok {
 			break
 		}
-		if err := t.checkEntry(e.Rect); err != nil {
-			return fmt.Errorf("entry %d: %w", count, err)
+		if cerr := t.checkEntry(e.Rect); cerr != nil {
+			return fmt.Errorf("entry %d: %w", count, cerr)
 		}
 		n.Entries = append(n.Entries, node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref})
 		count++
 		if len(n.Entries) == t.capacity {
-			if err := flush(); err != nil {
-				return err
+			if ferr := flush(); ferr != nil {
+				return ferr
 			}
 		}
 	}
-	if err := flush(); err != nil {
-		return err
+	if ferr := flush(); ferr != nil {
+		return ferr
 	}
 	if count == 0 {
 		return t.writeMeta()
@@ -65,19 +78,28 @@ func (t *Tree) BulkLoadOrdered(next func() (node.Entry, bool, error), o Orderer)
 
 	// Upper levels fit in memory (a factor of capacity smaller per level);
 	// reuse the in-memory packing path.
+	var stats BuildStats
 	level := 1
 	cur := parents
 	for len(cur) > 1 {
+		t0 := time.Now()
 		o.Order(cur, t.capacity, level)
-		up, err := t.packLevel(cur, level)
-		if err != nil {
-			return err
+		stats.Order += time.Since(t0)
+		up, perr := t.packLevel(w, cur, level)
+		if perr != nil {
+			return perr
 		}
 		cur = up
 		level++
 	}
+	if cerr := w.close(); cerr != nil {
+		return cerr
+	}
 	t.root = storage.PageID(cur[0].Ref)
 	t.height = level
 	t.count = count
+	stats.Write = w.writeTime()
+	stats.Pages = w.pages
+	t.buildStats = stats
 	return t.Flush()
 }

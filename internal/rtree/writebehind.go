@@ -1,0 +1,153 @@
+package rtree
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strtree/internal/node"
+	"strtree/internal/storage"
+)
+
+// writeBehindQueue is how many finished nodes may wait for the background
+// writer before packing blocks. At fan-out 100 and a 4 KiB page this is
+// a few hundred KiB of queued entries — enough to ride out a slow write
+// without letting memory grow with the tree.
+const writeBehindQueue = 64
+
+// pageJob is one finished node waiting to be serialized onto its page.
+// Ownership of n.Entries transfers to the writer with the job: the
+// producer must not touch the slice afterwards (it computes the node MBR
+// before emitting for exactly this reason).
+type pageJob struct {
+	id      storage.PageID
+	n       node.Node
+	recycle bool // hand n.Entries back through the free list after writing
+}
+
+// pageWriter emits finished nodes during a bulk load. With t.workers > 1
+// it serializes and writes pages on a background goroutine behind a
+// bounded queue, so packing the next node overlaps page I/O; otherwise it
+// writes inline. Errors are first-error-wins: after a write fails,
+// remaining jobs are drained without touching the pager and close()
+// returns the first failure.
+//
+// The split of tree state is strict: the build goroutine owns page
+// allocation (t.newPage, t.free) and tree metadata; the writer goroutine
+// only calls t.writeNode, which goes through the buffer manager's own
+// locking. The jobs channel provides the happens-before edge between
+// filling a node's entries and the writer reading them.
+type pageWriter struct {
+	t     *Tree
+	async bool
+
+	jobs chan pageJob
+	free chan []node.Entry
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+
+	pages      int
+	writeNanos atomic.Int64
+}
+
+func (t *Tree) newPageWriter() *pageWriter {
+	w := &pageWriter{t: t, async: t.workers > 1}
+	if w.async {
+		w.jobs = make(chan pageJob, writeBehindQueue)
+		w.free = make(chan []node.Entry, writeBehindQueue+1)
+		w.wg.Add(1)
+		go w.run()
+	}
+	return w
+}
+
+func (w *pageWriter) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+func (w *pageWriter) firstErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// run drains the job queue on the background goroutine.
+func (w *pageWriter) run() {
+	defer w.wg.Done()
+	for job := range w.jobs {
+		if w.firstErr() == nil {
+			t0 := time.Now()
+			if err := w.t.writeNode(job.id, &job.n); err != nil {
+				w.fail(err)
+			}
+			w.writeNanos.Add(int64(time.Since(t0)))
+		}
+		if job.recycle {
+			select {
+			case w.free <- job.n.Entries[:0]:
+			default:
+			}
+		}
+	}
+}
+
+// emit hands a finished node to the writer. In async mode ownership of
+// n.Entries transfers with the call; the producer must have read
+// everything it needs (the MBR) beforehand and must not reuse the slice
+// except via recycleOrNew.
+func (w *pageWriter) emit(id storage.PageID, n *node.Node, recycle bool) error {
+	w.pages++
+	if !w.async {
+		t0 := time.Now()
+		err := w.t.writeNode(id, n)
+		w.writeNanos.Add(int64(time.Since(t0)))
+		return err
+	}
+	if err := w.firstErr(); err != nil {
+		return err
+	}
+	w.jobs <- pageJob{id: id, n: node.Node{Level: n.Level, Dims: n.Dims, Entries: n.Entries}, recycle: recycle}
+	return nil
+}
+
+// recycleOrNew returns an entry buffer for the producer's next node. In
+// sync mode the write has already completed, so the old buffer is simply
+// truncated; in async mode the old buffer now belongs to the writer, so a
+// recycled buffer (or a fresh one) comes back instead.
+func (w *pageWriter) recycleOrNew(old []node.Entry, capHint int) []node.Entry {
+	if !w.async {
+		return old[:0]
+	}
+	select {
+	case b := <-w.free:
+		return b
+	default:
+		return make([]node.Entry, 0, capHint)
+	}
+}
+
+// close drains the queue, stops the background writer and returns the
+// first write error. It is idempotent, so bulk loads both defer it (for
+// early error returns) and call it explicitly before flushing.
+func (w *pageWriter) close() error {
+	if w.async && !w.closed {
+		w.closed = true
+		close(w.jobs)
+		w.wg.Wait()
+	}
+	return w.firstErr()
+}
+
+// writeTime reports the cumulative wall time spent serializing and
+// writing pages. In async mode this overlaps the ordering time rather
+// than adding to it.
+func (w *pageWriter) writeTime() time.Duration {
+	return time.Duration(w.writeNanos.Load())
+}

@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"strtree/internal/buffer"
 	"strtree/internal/rtree"
@@ -164,7 +164,7 @@ func (ls *LayerSet) names() []string {
 	for name := range ls.catalog {
 		out = append(out, name)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

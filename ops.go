@@ -87,7 +87,7 @@ func (t *Tree) CompactInto(dst *Tree, p Packing) error {
 	if dst.readonly {
 		return ErrReadOnly
 	}
-	o, err := p.orderer()
+	o, err := p.orderer(dst.inner.Workers())
 	if err != nil {
 		return err
 	}
@@ -189,6 +189,11 @@ type ExternalOptions struct {
 	RunSize int
 	// TmpDir hosts the spill files ("" = the OS temporary directory).
 	TmpDir string
+	// Workers bounds the goroutines the external sort phases use to
+	// overlap run sorting and spilling with input streaming. 0 means the
+	// tree's Workers setting (Options.Workers). The packed tree is
+	// byte-for-byte identical for every setting.
+	Workers int
 }
 
 // BulkLoadExternal packs the tree with STR from a stream of items,
@@ -204,7 +209,11 @@ func (t *Tree) BulkLoadExternal(next func() (Item, bool), opts ExternalOptions) 
 	if t.Dims() != 2 {
 		return fmt.Errorf("strtree: BulkLoadExternal supports 2-D trees, this tree is %d-D", t.Dims())
 	}
-	packer := pack.STRExternal{RunSize: opts.RunSize, TmpDir: opts.TmpDir}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = t.inner.Workers()
+	}
+	packer := pack.STRExternal{RunSize: opts.RunSize, TmpDir: opts.TmpDir, Workers: workers}
 	ch := make(chan node.Entry, 256)
 	errc := make(chan error, 1)
 	go func() {
@@ -225,7 +234,7 @@ func (t *Tree) BulkLoadExternal(next func() (Item, bool), opts ExternalOptions) 
 	loadErr := t.inner.BulkLoadOrdered(func() (node.Entry, bool, error) {
 		e, ok := <-ch
 		return e, ok, nil
-	}, pack.STR{})
+	}, pack.STR{Workers: workers})
 	// Drain so the packer goroutine can finish even if loading failed.
 	for range ch {
 	}

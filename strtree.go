@@ -22,6 +22,7 @@ package strtree
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"strtree/internal/buffer"
 	"strtree/internal/geom"
@@ -105,18 +106,18 @@ func (p Packing) String() string {
 	}
 }
 
-func (p Packing) orderer() (rtree.Orderer, error) {
+func (p Packing) orderer(workers int) (rtree.Orderer, error) {
 	switch p {
 	case PackSTR:
-		return pack.STR{}, nil
+		return pack.STR{Workers: workers}, nil
 	case PackHilbert:
-		return pack.HS{}, nil
+		return pack.HS{Workers: workers}, nil
 	case PackNearestX:
-		return pack.NX{}, nil
+		return pack.NX{Workers: workers}, nil
 	case PackSTRSerpentine:
-		return pack.Serpentine{}, nil
+		return pack.Serpentine{Workers: workers}, nil
 	case PackTGS:
-		return pack.TGS{}, nil
+		return pack.TGS{Workers: workers}, nil
 	default:
 		return nil, fmt.Errorf("strtree: unknown packing %d", int(p))
 	}
@@ -166,6 +167,25 @@ type Options struct {
 	// ForcedReinsert enables R*-style forced reinsertion on overflow,
 	// improving dynamic-load tree quality at some insert cost.
 	ForcedReinsert bool
+	// Workers bounds the goroutines a bulk load may use: the packing
+	// algorithms' parallel sorts plus the builder's write-behind page
+	// emission. 0 means GOMAXPROCS; 1 forces a fully sequential build.
+	// The packed tree is byte-for-byte identical for every setting — the
+	// sort kernel's index tie-break makes the ordering worker-count
+	// independent — so this knob trades only wall time, never layout.
+	Workers int
+}
+
+// resolveWorkers maps the Options.Workers convention (0 = GOMAXPROCS) to
+// an explicit goroutine bound.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
 }
 
 func (o Options) withDefaults() Options {
@@ -260,6 +280,7 @@ func create(pg storage.Pager, opts Options) (*Tree, error) {
 		MinFill:        opts.MinFill,
 		Split:          opts.Split,
 		ForcedReinsert: opts.ForcedReinsert,
+		Workers:        resolveWorkers(opts.Workers),
 	})
 	if err != nil {
 		return nil, err
@@ -268,8 +289,8 @@ func create(pg storage.Pager, opts Options) (*Tree, error) {
 }
 
 // Open opens a tree previously written with Create. Only PageSize,
-// BufferPages and BufferShards from opts are used; structural parameters
-// come from the file.
+// BufferPages, BufferShards and Workers from opts are used; structural
+// parameters come from the file.
 func Open(path string, opts Options) (*Tree, error) {
 	opts = opts.withDefaults()
 	pg, err := storage.OpenFilePager(path, opts.PageSize)
@@ -284,6 +305,7 @@ func Open(path string, opts Options) (*Tree, error) {
 	if err != nil {
 		return nil, errors.Join(err, pg.Close())
 	}
+	inner.SetWorkers(resolveWorkers(opts.Workers))
 	return &Tree{inner: inner, pool: pool, pager: pg}, nil
 }
 
@@ -295,7 +317,7 @@ func (t *Tree) BulkLoad(items []Item, p Packing) error {
 	if t.readonly {
 		return ErrReadOnly
 	}
-	o, err := p.orderer()
+	o, err := p.orderer(t.inner.Workers())
 	if err != nil {
 		return err
 	}
