@@ -5,9 +5,13 @@
 #   1. gofmt          every .go file is formatted
 #   2. go vet         the standard analyzer suite
 #   3. go build       the whole module compiles
-#   4. strlint        the repo's own static analyzer (internal/lint):
-#                     float ==, dropped storage/query errors, library
-#                     panics, loop-variable capture, cross-layer imports
+#   4. strlint        the repo's own static analyzer (internal/lint),
+#                     all ten checks: float ==, dropped errors, library
+#                     panics, loop-variable capture, cross-layer imports,
+#                     map-order and time/rand determinism, guarded-by
+#                     lock discipline, goroutine completion signals,
+#                     context propagation — gated by the committed
+#                     count-aware baseline (.strlint-baseline.json)
 #   5. go test        the full test suite (includes the invariant
 #                     verifier's corrupted-tree fixtures and the fuzz
 #                     seed corpora)
@@ -15,7 +19,8 @@
 #                     (incl. the sharded pool's eviction hammer), the
 #                     packers, the parallel sort kernel, the concurrent
 #                     external sorter, the batch executor, the query
-#                     server (admission, deadlines, drain), and the root
+#                     server (admission, deadlines, drain), the lint
+#                     engine (parallel per-package driver), and the root
 #                     package's concurrent Search/SearchBatch tests
 #
 # The script is plain POSIX sh with no interactive steps, so CI runs it
@@ -45,8 +50,8 @@ go run ./cmd/strlint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (buffer, pack, psort, extsort, query, server, concurrent root tests)"
-go test -race ./internal/buffer/... ./internal/pack/... ./internal/psort/... ./internal/extsort/... ./internal/query/... ./internal/server/...
+echo "== go test -race (buffer, pack, psort, extsort, query, server, lint, concurrent root tests)"
+go test -race ./internal/buffer/... ./internal/pack/... ./internal/psort/... ./internal/extsort/... ./internal/query/... ./internal/server/... ./internal/lint/...
 go test -race -run 'Concurrent|Batch|Sharded|View' .
 
 echo "All checks passed."

@@ -1,21 +1,30 @@
 // Command strlint runs the repository's custom static analyzer (package
-// internal/lint) over the module: float equality comparisons, dropped
-// errors from the storage/buffer/binary layers, library panics, loop
-// variable capture and cross-layer imports.
+// internal/lint) over the module. Ten checks cover float equality,
+// dropped errors, library panics, loop-variable capture, cross-layer
+// imports, map-iteration order and time/rand use in the deterministic
+// build layers, guarded-by lock discipline, goroutine completion
+// signals, and context propagation; an eleventh validates the ignore
+// directives themselves.
 //
 // Usage:
 //
-//	strlint [-checks floateq,droppederr,...] [packages]
+//	strlint [-checks c1,c2] [-format text|json|sarif] [-fix] [packages]
 //
 // Packages are module-relative paths or Go-style patterns: "./...", ".",
 // "./internal/geom", "internal/geom". With no arguments, the whole module
 // is checked. Exit status is 1 when findings are reported, 2 on usage or
 // load errors.
 //
-// Findings are suppressed with an in-source directive on the same or the
-// preceding line:
+// -fix applies every suggested fix and re-runs the analysis; applying
+// fixes twice is a no-op. -format sarif emits SARIF 2.1.0 for GitHub
+// code-scanning annotations. Findings are suppressed with an in-source
+// directive on the same or the preceding line:
 //
 //	//strlint:ignore <check>[,<check>...] <reason>
+//
+// or grandfathered in the committed baseline (-baseline, default
+// .strlint-baseline.json at the module root); -write-baseline regenerates
+// that file from the current findings.
 package main
 
 import (
@@ -31,51 +40,117 @@ import (
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
+	fixFlag := flag.Bool("fix", false, "apply suggested fixes, then re-run the analysis")
+	formatFlag := flag.String("format", "text", "output format: text, json or sarif")
+	baselineFlag := flag.String("baseline", ".strlint-baseline.json", "baseline file relative to the module root (missing file = empty baseline)")
+	writeBaselineFlag := flag.Bool("write-baseline", false, "write the current findings to the baseline file and exit")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: strlint [-checks c1,c2] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: strlint [-checks c1,c2] [-format text|json|sarif] [-fix] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *listFlag {
-		for _, c := range lint.AllChecks {
-			fmt.Println(c)
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
 		}
 		return
+	}
+	switch *formatFlag {
+	case "text", "json", "sarif":
+	default:
+		fail(fmt.Errorf("unknown format %q (want text, json or sarif)", *formatFlag))
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
 		fail(err)
 	}
-	a, err := lint.Load(root)
-	if err != nil {
-		fail(err)
-	}
-
 	var checks []string
 	if *checksFlag != "" {
 		checks = strings.Split(*checksFlag, ",")
 	}
-	pkgs, err := resolvePatterns(a, flag.Args())
+
+	findings, err := analyze(root, checks, flag.Args())
 	if err != nil {
 		fail(err)
 	}
-	findings, err := a.Run(pkgs, checks)
-	if err != nil {
-		fail(err)
-	}
-	for _, f := range findings {
-		rel := f
-		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+
+	if *fixFlag {
+		changed, err := lint.ApplyFixes(findings)
+		if err != nil {
+			fail(err)
 		}
-		fmt.Println(rel)
+		for _, name := range changed {
+			if rel, err := filepath.Rel(root, name); err == nil {
+				name = rel
+			}
+			fmt.Fprintf(os.Stderr, "strlint: fixed %s\n", name)
+		}
+		// Re-run on the rewritten sources so the report below reflects
+		// what is actually left.
+		if len(changed) > 0 {
+			findings, err = analyze(root, checks, flag.Args())
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	if *writeBaselineFlag {
+		path := filepath.Join(root, *baselineFlag)
+		if err := lint.WriteBaseline(path, findings, root); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "strlint: wrote %d finding(s) to %s\n", len(findings), *baselineFlag)
+		return
+	}
+
+	entries, err := lint.LoadBaseline(filepath.Join(root, *baselineFlag))
+	if err != nil {
+		fail(err)
+	}
+	findings, stale := lint.ApplyBaseline(findings, entries, root)
+	for _, msg := range stale {
+		fmt.Fprintf(os.Stderr, "strlint: %s\n", msg)
+	}
+
+	switch *formatFlag {
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, findings, root); err != nil {
+			fail(err)
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(os.Stdout, findings, root); err != nil {
+			fail(err)
+		}
+	default:
+		for _, f := range findings {
+			rel := f
+			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "strlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// analyze loads the module and runs the selected checks over the
+// requested packages.
+func analyze(root string, checks, patterns []string) ([]lint.Finding, error) {
+	a, err := lint.Load(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := resolvePatterns(a, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(pkgs, checks)
 }
 
 func fail(err error) {

@@ -89,16 +89,18 @@ type Pool struct {
 	pager    storage.Pager
 	capacity int
 	policy   Policy
-	frames   map[storage.PageID]*Frame
-	// Intrusive LRU list with a sentinel: head.next is most recently used,
-	// head.prev is least recently used. Maintained only under LRU.
+	frames   map[storage.PageID]*Frame // guarded by mu
+	// guarded by mu. Intrusive LRU list with a sentinel: head.next is most
+	// recently used, head.prev is least recently used. Maintained only
+	// under LRU.
 	head Frame
-	// Clock state: fixed frame slots and the sweep hand. Maintained only
-	// under Clock.
+	// guarded by mu. Clock state: fixed frame slots and the sweep hand.
+	// Maintained only under Clock.
 	clock []*Frame
-	hand  int
-	stats Stats
-	// tracer, when set, observes every Fetch (page id and whether it hit).
+	hand  int   // guarded by mu
+	stats Stats // guarded by mu
+	// guarded by mu. tracer, when set, observes every Fetch (page id and
+	// whether it hit).
 	tracer func(id storage.PageID, hit bool)
 }
 
@@ -152,7 +154,7 @@ func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 	p.stats.LogicalReads++
 	if f, ok := p.frames[id]; ok {
 		f.pins++
-		p.touch(f)
+		p.touchLocked(f)
 		if p.tracer != nil {
 			p.tracer(id, true)
 		}
@@ -175,7 +177,7 @@ func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 	f.dirty = false
 	f.resident = false
 	p.frames[id] = f
-	p.link(f)
+	p.linkLocked(f)
 	return f, nil
 }
 
@@ -209,7 +211,7 @@ func (p *Pool) adopt(id storage.PageID) (*Frame, error) {
 	f.dirty = true
 	f.resident = false
 	p.frames[id] = f
-	p.link(f)
+	p.linkLocked(f)
 	return f, nil
 }
 
@@ -279,7 +281,7 @@ func (p *Pool) Invalidate() error {
 			p.stats.DiskWrites++
 		}
 		if p.policy == LRU {
-			p.unlink(f)
+			p.unlinkLocked(f)
 		}
 		delete(p.frames, id)
 	}
@@ -341,7 +343,7 @@ func (p *Pool) allocFrameLocked() (*Frame, error) {
 		if err := p.writeBackLocked(f); err != nil {
 			return nil, err
 		}
-		p.unlink(f)
+		p.unlinkLocked(f)
 		delete(p.frames, f.id)
 		p.stats.Evictions++
 		return f, nil
@@ -387,16 +389,16 @@ func (p *Pool) writeBackLocked(f *Frame) error {
 }
 
 // touch records a hit per the policy.
-func (p *Pool) touch(f *Frame) {
+func (p *Pool) touchLocked(f *Frame) {
 	if p.policy == Clock {
 		f.ref = true
 		return
 	}
-	p.moveToFront(f)
+	p.moveToFrontLocked(f)
 }
 
 // link publishes a frame that just received a page.
-func (p *Pool) link(f *Frame) {
+func (p *Pool) linkLocked(f *Frame) {
 	if p.policy == Clock {
 		f.ref = true
 		if f.slot < 0 {
@@ -405,7 +407,7 @@ func (p *Pool) link(f *Frame) {
 		}
 		return
 	}
-	p.pushFront(f)
+	p.pushFrontLocked(f)
 }
 
 // freeFrameLocked discards a frame allocated by allocFrameLocked that was
@@ -419,21 +421,21 @@ func (p *Pool) freeFrameLocked(f *Frame) {
 	f.dirty = false
 }
 
-func (p *Pool) pushFront(f *Frame) {
+func (p *Pool) pushFrontLocked(f *Frame) {
 	f.next = p.head.next
 	f.prev = &p.head
 	p.head.next.prev = f
 	p.head.next = f
 }
 
-func (p *Pool) unlink(f *Frame) {
+func (p *Pool) unlinkLocked(f *Frame) {
 	f.prev.next = f.next
 	f.next.prev = f.prev
 	f.prev = nil
 	f.next = nil
 }
 
-func (p *Pool) moveToFront(f *Frame) {
-	p.unlink(f)
-	p.pushFront(f)
+func (p *Pool) moveToFrontLocked(f *Frame) {
+	p.unlinkLocked(f)
+	p.pushFrontLocked(f)
 }

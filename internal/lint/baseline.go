@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+)
+
+// The baseline grandfathers known findings so strlint can gate on zero
+// NEW findings while old, reasoned ones are paid down over time. An entry
+// matches up to Count findings of one check in one file; the count is
+// part of the key on purpose — if a file with 4 baselined timerand
+// findings grows a 5th, the 5th still fires. Every entry carries a human
+// reason, reviewed like code.
+
+// BaselineEntry grandfathers Count findings of Check in File.
+type BaselineEntry struct {
+	Check  string `json:"check"`
+	File   string `json:"file"` // module-relative, forward slashes
+	Count  int    `json:"count"`
+	Reason string `json:"reason"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so fresh checkouts and tests need no stub file.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	for i, e := range entries {
+		if e.Check == "" || e.File == "" || e.Count <= 0 || strings.TrimSpace(e.Reason) == "" {
+			return nil, fmt.Errorf("lint: baseline %s entry %d: check, file, positive count and reason are all required", path, i)
+		}
+	}
+	return entries, nil
+}
+
+// ApplyBaseline filters findings through the baseline: for each
+// (check, file) the first Count position-sorted findings are dropped.
+// It returns the surviving findings plus a message per stale entry (one
+// that matched fewer findings than its count), so paid-down debt is
+// flagged for removal from the file.
+func ApplyBaseline(findings []Finding, entries []BaselineEntry, root string) ([]Finding, []string) {
+	if len(entries) == 0 {
+		return findings, nil
+	}
+	budget := map[string]int{}
+	for _, e := range entries {
+		budget[e.Check+"\x00"+e.File] += e.Count
+	}
+	matched := map[string]int{}
+	kept := findings[:0]
+	for _, f := range findings {
+		key := f.Check + "\x00" + relSlash(root, f.Pos.Filename)
+		if budget[key] > 0 {
+			budget[key]--
+			matched[key]++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	var stale []string
+	for _, e := range entries {
+		key := e.Check + "\x00" + e.File
+		if left := budget[key]; left > 0 {
+			stale = append(stale, fmt.Sprintf("baseline entry %s in %s expects %d finding(s), matched %d; shrink or remove it",
+				e.Check, e.File, e.Count, matched[key]))
+			budget[key] = 0 // report each surplus once
+		}
+	}
+	return kept, stale
+}
+
+// WriteBaseline aggregates the findings into baseline entries and writes
+// them to path with placeholder reasons for the author to fill in.
+func WriteBaseline(path string, findings []Finding, root string) error {
+	counts := map[string]map[string]int{} // check -> file -> count
+	for _, f := range findings {
+		file := relSlash(root, f.Pos.Filename)
+		if counts[f.Check] == nil {
+			counts[f.Check] = map[string]int{}
+		}
+		counts[f.Check][file]++
+	}
+	var entries []BaselineEntry
+	for check, files := range counts {
+		for file, n := range files {
+			entries = append(entries, BaselineEntry{Check: check, File: file, Count: n, Reason: "TODO: justify or fix"})
+		}
+	}
+	slices.SortFunc(entries, func(a, b BaselineEntry) int {
+		if c := strings.Compare(a.Check, b.Check); c != 0 {
+			return c
+		}
+		return strings.Compare(a.File, b.File)
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,122 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strtree/internal/lint"
+)
+
+func finding(file string, line int, check string) lint.Finding {
+	return lint.Finding{
+		Pos:     token.Position{Filename: file, Line: line, Column: 1},
+		Check:   check,
+		Message: "m",
+	}
+}
+
+// TestApplyBaselineCounts pins the count-aware semantics: a baseline entry
+// absorbs at most Count findings of its check in its file, position order,
+// and everything beyond the budget still fires.
+func TestApplyBaselineCounts(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	abs := func(rel string) string { return filepath.Join(root, rel) }
+	findings := []lint.Finding{
+		finding(abs("a.go"), 10, "timerand"),
+		finding(abs("a.go"), 20, "timerand"),
+		finding(abs("a.go"), 30, "timerand"), // over budget: must survive
+		finding(abs("a.go"), 5, "maporder"),  // different check: must survive
+		finding(abs("b.go"), 1, "timerand"),  // different file: must survive
+	}
+	entries := []lint.BaselineEntry{
+		{Check: "timerand", File: "a.go", Count: 2, Reason: "stats only"},
+	}
+	kept, stale := lint.ApplyBaseline(findings, entries, root)
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v", stale)
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d findings, want 3: %v", len(kept), kept)
+	}
+	// The two earliest timerand findings in a.go are absorbed.
+	for _, f := range kept {
+		if f.Check == "timerand" && strings.HasSuffix(f.Pos.Filename, "a.go") && f.Pos.Line < 30 {
+			t.Errorf("baselined finding survived: %v", f)
+		}
+	}
+}
+
+// TestApplyBaselineStale proves unused entries are reported rather than
+// silently kept, so the debt list shrinks with the code.
+func TestApplyBaselineStale(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	findings := []lint.Finding{
+		finding(filepath.Join(root, "a.go"), 1, "timerand"),
+	}
+	entries := []lint.BaselineEntry{
+		{Check: "timerand", File: "a.go", Count: 2, Reason: "one was fixed"},
+		{Check: "maporder", File: "gone.go", Count: 1, Reason: "file was deleted"},
+	}
+	kept, stale := lint.ApplyBaseline(findings, entries, root)
+	if len(kept) != 0 {
+		t.Fatalf("kept = %v", kept)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want 2 messages", stale)
+	}
+	joined := strings.Join(stale, "\n")
+	for _, want := range []string{"expects 2 finding(s), matched 1", "gone.go"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("stale messages missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestBaselineLoadValidation pins the file contract: missing file means no
+// baseline, and entries without a reason are rejected loudly.
+func TestBaselineLoadValidation(t *testing.T) {
+	entries, err := lint.LoadBaseline(filepath.Join(t.TempDir(), "nonexistent.json"))
+	if err != nil || entries != nil {
+		t.Fatalf("missing baseline: entries=%v err=%v, want nil/nil", entries, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"check":"timerand","file":"a.go","count":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(bad); err == nil {
+		t.Fatal("entry without reason accepted")
+	}
+	zero := filepath.Join(t.TempDir(), "zero.json")
+	if err := os.WriteFile(zero, []byte(`[{"check":"timerand","file":"a.go","count":0,"reason":"r"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(zero); err == nil {
+		t.Fatal("entry with zero count accepted")
+	}
+}
+
+// TestWriteBaselineRoundTrip proves -write-baseline output loads back and
+// absorbs exactly the findings it was generated from.
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	findings := []lint.Finding{
+		finding(filepath.Join(root, "a.go"), 1, "timerand"),
+		finding(filepath.Join(root, "a.go"), 2, "timerand"),
+		finding(filepath.Join(root, "b.go"), 3, "maporder"),
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := lint.WriteBaseline(path, findings, root); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, stale := lint.ApplyBaseline(findings, entries, root)
+	if len(kept) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip not clean: kept=%v stale=%v", kept, stale)
+	}
+}

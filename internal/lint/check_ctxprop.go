@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+var ctxpropCheck = &Check{
+	Name: "ctxprop",
+	Doc: "Enforces context propagation in library packages: an exported " +
+		"function whose first parameter is a context.Context must not call " +
+		"a function or method that has a *Context sibling without using it " +
+		"— dropping the context there silently disables cancellation for " +
+		"the whole traversal. Also flags context.Background() and " +
+		"context.TODO() in library code, which sever the caller's " +
+		"cancellation chain. Suggested fix: call the Context variant with " +
+		"the incoming context.",
+	run: func(p *pass) {
+		if !libraryPackage(p.pkg.path) {
+			return
+		}
+		for _, f := range p.pkg.files {
+			checkBackground(p, f)
+			for _, decl := range f.ast.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					checkCtxVariants(p, f, fd)
+				}
+			}
+		}
+	},
+}
+
+// checkBackground flags context.Background()/TODO() anywhere in a library
+// file.
+func checkBackground(p *pass, f *fileInfo) {
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || f.imports[id.Name] != "context" {
+			return true
+		}
+		if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+			p.reportf(call.Pos(), "ctxprop",
+				"context.%s in library package %s severs the caller's cancellation chain; plumb a ctx parameter through instead", sel.Sel.Name, pkgDisplay(p.pkg.path))
+		}
+		return true
+	})
+}
+
+// checkCtxVariants flags calls inside an exported ctx-taking function to
+// callees that have a *Context sibling the function ignores.
+func checkCtxVariants(p *pass, f *fileInfo, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Body == nil {
+		return
+	}
+	ctxName, ok := ctxParam(p, f, fd)
+	if !ok {
+		return
+	}
+	// Best-effort scope: receiver + parameters, enough to resolve method
+	// receivers like t.Search where t is the receiver or a parameter.
+	sc := newScope(nil)
+	if fd.Recv != nil {
+		for _, fld := range fd.Recv.List {
+			t := p.a.parseTypeExpr(f, fld.Type)
+			for _, name := range fld.Names {
+				sc.set(name.Name, t)
+			}
+		}
+	}
+	for _, fld := range fd.Type.Params.List {
+		t := p.a.parseTypeExpr(f, fld.Type)
+		for _, name := range fld.Names {
+			sc.set(name.Name, t)
+		}
+	}
+	r := &resolver{a: p.a, file: f}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && id.Name == ctxName {
+				return true // the context is already passed down
+			}
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name := fun.Name
+			if hasSuffixContext(name) {
+				return true
+			}
+			if _, shadowed := sc.lookup(name); shadowed {
+				return true
+			}
+			if p.pkg.funcs[name+"Context"] == nil {
+				return true
+			}
+			reportVariant(p, call, fun, ctxName, name)
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if hasSuffixContext(name) {
+				return true
+			}
+			base, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			t := r.typeOf(sc, base)
+			if !t.known() {
+				return true
+			}
+			if sig, _ := p.a.method(t, name+"Context"); sig == nil {
+				return true
+			}
+			reportVariant(p, call, fun.Sel, ctxName, name)
+		}
+		return true
+	})
+}
+
+func hasSuffixContext(name string) bool {
+	return len(name) > len("Context") && name[len(name)-len("Context"):] == "Context"
+}
+
+// ctxParam returns the name of fd's first parameter when its type is
+// context.Context.
+func ctxParam(p *pass, f *fileInfo, fd *ast.FuncDecl) (string, bool) {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return "", false
+	}
+	first := params.List[0]
+	t := p.a.parseTypeExpr(f, first.Type)
+	if t.kind != kNamed || t.pkg != "context" || t.name != "Context" || len(first.Names) == 0 {
+		return "", false
+	}
+	name := first.Names[0].Name
+	if name == "_" {
+		return "", false
+	}
+	return name, true
+}
+
+// reportVariant emits the finding with a mechanical fix: rename the callee
+// to its Context variant and pass the incoming context first.
+func reportVariant(p *pass, call *ast.CallExpr, fun *ast.Ident, ctxName, name string) {
+	edits := []Edit{p.replaceEdit(fun.Pos(), fun.End(), name+"Context")}
+	if len(call.Args) > 0 {
+		edits = append(edits, p.insertEdit(call.Args[0].Pos(), ctxName+", "))
+	} else {
+		edits = append(edits, p.insertEdit(call.Rparen, ctxName))
+	}
+	p.report(call.Pos(), "ctxprop", &Fix{
+		Message: "call the Context variant with the incoming context",
+		Edits:   edits,
+	}, "call to %s ignores the incoming context; use %sContext(%s, ...) so cancellation propagates", name, name, ctxName)
+}

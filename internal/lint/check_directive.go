@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+var directiveCheck = &Check{
+	Name: "directive",
+	Doc: "Validates //strlint:ignore and //strlint:file-ignore comments " +
+		"themselves: unknown verbs, missing check names or reasons, empty " +
+		"entries in the check list, and references to unknown checks are " +
+		"all findings. A malformed directive suppresses nothing, so a typo " +
+		"can never silently disable a check; directive findings are " +
+		"themselves unsuppressible.",
+	run: func(p *pass) {
+		for _, f := range p.pkg.files {
+			for _, d := range f.ignores {
+				pos := token.Position{Filename: f.name, Line: d.line, Column: 1}
+				if d.problem != "" {
+					p.reportAt(pos, "directive", "malformed directive: %s", d.problem)
+					continue
+				}
+				if len(d.checks) == 0 || d.reason == "" {
+					p.reportAt(pos, "directive",
+						"malformed directive: want //strlint:ignore <check>[,<check>] <reason>")
+					continue
+				}
+				for _, c := range d.checks {
+					if !knownCheck(c) || c == "directive" {
+						p.reportAt(pos, "directive",
+							"directive names unknown check %q (have %s)", c, strings.Join(AllChecks(), ", "))
+					}
+				}
+			}
+		}
+	},
+}

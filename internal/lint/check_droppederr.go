@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var droppederrCheck = &Check{
+	Name: "droppederr",
+	Doc: "Flags statement-level calls into the error-critical packages " +
+		"(storage, buffer, query, server, extsort, pack, encoding/binary) " +
+		"whose error result is discarded, including go and defer calls. A " +
+		"dropped error in those layers corrupts a persistent tree or " +
+		"silently truncates results. Suggested fix: discard explicitly " +
+		"with a blank assignment.",
+	run: func(p *pass) {
+		for _, f := range p.pkg.files {
+			p.walkFile(f, hooks{
+				stmtCall: func(w *walker, sc *scope, call *ast.CallExpr, how string) {
+					results, pkg := w.r.callResults(sc, call)
+					if !droppedErrTargets[pkg] {
+						return
+					}
+					hasErr := false
+					for _, t := range results {
+						if t.kind == kError {
+							hasErr = true
+							break
+						}
+					}
+					if !hasErr {
+						return
+					}
+					name := calleeName(call)
+					verb := "call"
+					if how != "" {
+						verb = how + " call"
+					}
+					// A plain statement call can be fixed mechanically by
+					// blanking every result; go/defer calls need a real
+					// handler, so no fix is offered there.
+					var fix *Fix
+					if how == "" {
+						blanks := strings.Repeat("_, ", len(results)-1) + "_ = "
+						fix = &Fix{
+							Message: "discard the error explicitly",
+							Edits:   []Edit{p.insertEdit(call.Pos(), blanks)},
+						}
+					}
+					p.report(call.Pos(), "droppederr", fix,
+						"error from %s %s %s is discarded; handle it, or discard explicitly with _ =", pkg, verb, name)
+				},
+			})
+		}
+	},
+}

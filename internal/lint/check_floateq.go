@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var floateqCheck = &Check{
+	Name: "floateq",
+	Doc: "Flags == and != where either operand is floating point. Exact " +
+		"float comparison is almost always a rounding bug in geometry code; " +
+		"compare with a tolerance, or annotate the rare exact-equality " +
+		"contract with //strlint:ignore floateq <reason>.",
+	run: func(p *pass) {
+		for _, f := range p.pkg.files {
+			p.walkFile(f, hooks{
+				binary: func(w *walker, sc *scope, x *ast.BinaryExpr) {
+					if x.Op != token.EQL && x.Op != token.NEQ {
+						return
+					}
+					if p.a.isFloat(w.r.typeOf(sc, x.X)) || p.a.isFloat(w.r.typeOf(sc, x.Y)) {
+						p.reportf(x.OpPos, "floateq",
+							"%s on float operands; compare with a tolerance, or add //strlint:ignore floateq <reason> if exact equality is the contract", x.Op)
+					}
+				},
+			})
+		}
+	},
+}

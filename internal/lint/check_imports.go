@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"strings"
+)
+
+var importsCheck = &Check{
+	Name: "imports",
+	Doc: "Enforces the bottom-up layering table in rules.go: each library " +
+		"package may import only its listed module-internal dependencies. " +
+		"A library package missing from the table is itself a finding, so " +
+		"the table cannot silently rot.",
+	run: func(p *pass) {
+		allowed, ok := layerAllowed[p.pkg.path]
+		for _, f := range p.pkg.files {
+			if !ok {
+				if libraryPackage(p.pkg.path) {
+					p.reportf(f.ast.Name.Pos(), "imports",
+						"package %s missing from the strlint layering table (internal/lint/rules.go); add it with its allowed imports", pkgDisplay(p.pkg.path))
+				}
+				continue
+			}
+			for _, imp := range f.ast.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				rel, inModule := cutModulePrefix(path, p.a.module)
+				if path == p.a.module {
+					rel, inModule = "", true
+				}
+				if !inModule {
+					continue
+				}
+				if !allowed[rel] {
+					p.reportf(imp.Pos(), "imports",
+						"layering violation: %s must not import %s (allowed: %s)",
+						pkgDisplay(p.pkg.path), pkgDisplay(rel), allowedList(allowed))
+				}
+			}
+		}
+	},
+}
+
+func allowedList(allowed map[string]bool) string {
+	if len(allowed) == 0 {
+		return "none"
+	}
+	var names []string
+	for p := range allowed {
+		names = append(names, pkgDisplay(p))
+	}
+	sortStrings(names)
+	return strings.Join(names, ", ")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

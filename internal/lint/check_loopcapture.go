@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+var loopcaptureCheck = &Check{
+	Name: "loopcapture",
+	Doc: "Flags go/defer function literals that capture a loop variable of " +
+		"an enclosing for/range header. Per-iteration variables (Go 1.22) " +
+		"make this safe in current toolchains, but the capture is still a " +
+		"latent bug for any reader back-porting the code; pass the " +
+		"variable as an argument.",
+	run: func(p *pass) {
+		for _, f := range p.pkg.files {
+			p.walkFile(f, hooks{
+				stmtCall: func(w *walker, sc *scope, call *ast.CallExpr, how string) {
+					if how == "" || len(w.loopVars) == 0 {
+						return
+					}
+					lit, ok := call.Fun.(*ast.FuncLit)
+					if !ok {
+						return
+					}
+					shadowed := map[string]bool{}
+					if lit.Type.Params != nil {
+						for _, fld := range lit.Type.Params.List {
+							for _, n := range fld.Names {
+								shadowed[n.Name] = true
+							}
+						}
+					}
+					reported := map[string]bool{}
+					ast.Inspect(lit.Body, func(n ast.Node) bool {
+						id, ok := n.(*ast.Ident)
+						if !ok || shadowed[id.Name] || reported[id.Name] || !w.inLoop(id.Name) {
+							return true
+						}
+						reported[id.Name] = true
+						p.reportf(id.Pos(), "loopcapture",
+							"loop variable %s captured by %s literal; pass it as an argument (unsafe before Go 1.22 per-iteration variables)", id.Name, how)
+						return true
+					})
+				},
+			})
+		}
+	},
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var panicsCheck = &Check{
+	Name: "panics",
+	Doc: "Flags panic() in library packages (the root package and " +
+		"internal/*) outside must*/Must* helpers and init functions. " +
+		"Library code returns errors; a panic crossing the API boundary " +
+		"takes down a serving process.",
+	run: func(p *pass) {
+		if !libraryPackage(p.pkg.path) {
+			return
+		}
+		for _, f := range p.pkg.files {
+			p.walkFile(f, hooks{
+				call: func(w *walker, sc *scope, call *ast.CallExpr) {
+					id, ok := call.Fun.(*ast.Ident)
+					if !ok || id.Name != "panic" {
+						return
+					}
+					if _, shadowed := sc.lookup("panic"); shadowed {
+						return
+					}
+					name := w.funcName()
+					lower := strings.ToLower(name)
+					if strings.HasPrefix(lower, "must") || name == "init" {
+						return
+					}
+					p.reportf(call.Pos(), "panics",
+						"panic in library function %s; return an error, or mark a documented contract with //strlint:ignore panics <reason>", name)
+				},
+			})
+		}
+	},
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// clockFuncs are the time-package functions whose value differs between
+// runs. Deliberately narrow: time.Duration arithmetic, formatting and
+// timers are fine; reading the wall clock is not.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var timerandCheck = &Check{
+	Name: "timerand",
+	Doc: "Flags time.Now/Since/Until and any math/rand use inside the " +
+		"deterministic build layers (the root package, pack, psort, " +
+		"extsort, rtree). Wall-clock readings and random numbers must " +
+		"never influence build output — byte-identical indexes at any " +
+		"worker count is the module's headline contract. Timing that " +
+		"feeds only reporting (BuildStats durations) is grandfathered in " +
+		"the committed baseline, where the reason is recorded.",
+	run: func(p *pass) {
+		if !deterministicLayers[p.pkg.path] {
+			return
+		}
+		for _, f := range p.pkg.files {
+			p.walkFile(f, hooks{
+				call: func(w *walker, sc *scope, call *ast.CallExpr) {
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return
+					}
+					if _, shadowed := sc.lookup(id.Name); shadowed {
+						return
+					}
+					switch w.file.imports[id.Name] {
+					case "time":
+						if clockFuncs[sel.Sel.Name] {
+							p.reportf(call.Pos(), "timerand",
+								"time.%s in deterministic layer %s; wall-clock values must not influence build output (baseline it if it only feeds stats)",
+								sel.Sel.Name, pkgDisplay(p.pkg.path))
+						}
+					case "math/rand", "math/rand/v2":
+						p.reportf(call.Pos(), "timerand",
+							"math/rand call %s in deterministic layer %s; randomness must not influence build output",
+							calleeName(call), pkgDisplay(p.pkg.path))
+					}
+				},
+			})
+		}
+	},
+}

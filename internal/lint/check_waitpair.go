@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+var waitpairCheck = &Check{
+	Name: "waitpair",
+	Doc: "Flags goroutine launches with no completion signal: the literal's " +
+		"body must call a WaitGroup Done, close a channel, or send on one — " +
+		"or, for named-function goroutines and literals that signal " +
+		"internally, a sync.WaitGroup Add call must appear earlier in the " +
+		"same enclosing function. A goroutine nothing can wait for outlives " +
+		"shutdown and races teardown; the checksum tests cannot catch a " +
+		"leak that only bites under load. Intraprocedural.",
+	run: func(p *pass) {
+		for _, f := range p.pkg.files {
+			// addSeen tracks whether a WaitGroup.Add call has appeared
+			// earlier (lexically) in the current top-level function. The
+			// walk is lexical, so resetting on function-name change is
+			// exact for top-level declarations.
+			addSeen := false
+			var curFunc string
+			enter := func(w *walker) {
+				if len(w.funcNames) > 0 && w.funcNames[0] != curFunc {
+					curFunc = w.funcNames[0]
+					addSeen = false
+				}
+			}
+			p.walkFile(f, hooks{
+				call: func(w *walker, sc *scope, call *ast.CallExpr) {
+					enter(w)
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Add" {
+						return
+					}
+					t := deref(w.r.typeOf(sc, sel.X))
+					if t.kind == kNamed && t.pkg == "sync" && t.name == "WaitGroup" {
+						addSeen = true
+					}
+				},
+				goStmt: func(w *walker, sc *scope, s *ast.GoStmt) {
+					enter(w)
+					if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && signalsCompletion(lit.Body) {
+						return
+					}
+					if addSeen {
+						return
+					}
+					p.reportf(s.Pos(), "waitpair",
+						"goroutine in %s has no completion signal (no WaitGroup Add/Done pairing, channel send, or close); callers cannot wait for it", w.funcName())
+				},
+			})
+		}
+	},
+}
+
+// signalsCompletion reports whether a goroutine body contains a completion
+// signal another goroutine can wait on: a Done() call, a close(), or a
+// channel send.
+func signalsCompletion(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			switch f := x.Fun.(type) {
+			case *ast.Ident:
+				if f.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if f.Sel.Name == "Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

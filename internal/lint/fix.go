@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"slices"
+)
+
+// ApplyFixes applies every suggested fix among the findings to the files
+// on disk and returns the changed file names, sorted. Edits within one
+// file are applied from the end of the file backwards so earlier offsets
+// stay valid; overlapping edits (two fixes touching the same bytes) abort
+// with an error rather than guessing. Rewritten files are gofmt-formatted,
+// so applying fixes and re-running strlint converges: a second -fix run
+// finds nothing left to do.
+func ApplyFixes(findings []Finding) ([]string, error) {
+	byFile := map[string][]Edit{}
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+	}
+	var changed []string
+	for name := range byFile {
+		changed = append(changed, name)
+	}
+	slices.Sort(changed)
+	for _, name := range changed {
+		edits := byFile[name]
+		slices.SortFunc(edits, func(a, b Edit) int { return a.Offset - b.Offset })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].Offset < edits[i-1].End {
+				return nil, fmt.Errorf("lint: overlapping fixes in %s at offset %d; re-run after applying the first", name, edits[i].Offset)
+			}
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			if e.Offset < 0 || e.End > len(src) || e.Offset > e.End {
+				return nil, fmt.Errorf("lint: fix edit out of range in %s (offset %d..%d of %d bytes)", name, e.Offset, e.End, len(src))
+			}
+			src = append(src[:e.Offset], append([]byte(e.Text), src[e.End:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixed %s does not parse: %w", name, err)
+		}
+		info, err := os.Stat(name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if err := os.WriteFile(name, formatted, info.Mode().Perm()); err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+	}
+	return changed, nil
+}
+
+// Fixable reports how many of the findings carry a suggested fix.
+func Fixable(findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		if f.Fix != nil {
+			n++
+		}
+	}
+	return n
+}

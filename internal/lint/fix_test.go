@@ -1,0 +1,138 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strtree/internal/lint"
+)
+
+// copyTree duplicates the demo fixture module into dst so -fix can write
+// without touching the committed fixtures.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, info.Mode())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshot reads every .go file under root keyed by relative path.
+func snapshot(t *testing.T, root string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".go" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		out[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func run(t *testing.T, root string) []lint.Finding {
+	t.Helper()
+	a, err := lint.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := a.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestApplyFixesRoundTrip proves the autofix engine end to end: fixable
+// findings disappear after one apply, non-fixable ones survive, and a
+// second apply is a byte-for-byte no-op (idempotency).
+func TestApplyFixesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "demo"), dir)
+
+	before := run(t, dir)
+	fixable := lint.Fixable(before)
+	if fixable == 0 {
+		t.Fatal("demo module has no fixable findings; the round trip tests nothing")
+	}
+	changed, err := lint.ApplyFixes(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) == 0 {
+		t.Fatal("ApplyFixes reported no files changed")
+	}
+
+	after := run(t, dir)
+	if got := lint.Fixable(after); got != 0 {
+		var lines []string
+		for _, f := range after {
+			if f.Fix != nil {
+				lines = append(lines, f.String())
+			}
+		}
+		t.Fatalf("%d fixable findings survived their own fix: %v", got, lines)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("findings did not shrink: %d -> %d", len(before), len(after))
+	}
+	// The specific demonstrations the fixtures were written for: every
+	// droppederr plain call gained an `_ =` and both ctxprop call sites
+	// switched to their Context variants.
+	counts := map[string]int{}
+	for _, f := range after {
+		counts[f.Check]++
+	}
+	if counts["droppederr"] != 2 { // defer and go calls have no mechanical fix
+		t.Errorf("droppederr after fix = %d, want 2", counts["droppederr"])
+	}
+	if counts["ctxprop"] != 1 { // only context.Background survives
+		t.Errorf("ctxprop after fix = %d, want 1", counts["ctxprop"])
+	}
+
+	// Idempotency: re-applying on the already-fixed tree changes nothing.
+	snapBefore := snapshot(t, dir)
+	changed, err = lint.ApplyFixes(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("second ApplyFixes touched files: %v", changed)
+	}
+	snapAfter := snapshot(t, dir)
+	if len(snapBefore) != len(snapAfter) {
+		t.Fatalf("file set changed: %d -> %d", len(snapBefore), len(snapAfter))
+	}
+	for rel, data := range snapBefore {
+		if snapAfter[rel] != data {
+			t.Errorf("%s changed on second apply", rel)
+		}
+	}
+}

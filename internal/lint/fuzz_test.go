@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective hammers the directive parser with arbitrary comment
+// text. The parser is the one place untrusted source content (comments)
+// steers the analyzer, so it must never panic, and its invariants must
+// hold on every input: a directive either carries a problem (and then
+// suppresses nothing) or is fully formed.
+func FuzzIgnoreDirective(f *testing.F) {
+	seeds := []string{
+		"//strlint:ignore floateq exact equality is the contract",
+		"//strlint:file-ignore droppederr generated file",
+		"//strlint:ignore floateq,panics reason here",
+		"//strlint:ignore floateq",
+		"//strlint:ignore",
+		"//strlint:ignored floateq trailing d",
+		"//strlint:ignore floateq,,panics empty entry",
+		"//strlint:ignore ,floateq leading comma",
+		"//strlint:",
+		"//strlint: ignore floateq space after colon",
+		"// not a directive at all",
+		"//strlint:ignore\tfloateq\ttabs as separators",
+		"//strlint:file-ignore",
+		"//strlint:ignore   unicode space",
+		"//strlint:ignore floateq \x00 null byte reason",
+		strings.Repeat("//strlint:ignore a,", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := parseIgnoreDirective(text)
+		if !ok {
+			// Not strlint-addressed: must be a zero directive.
+			if d.problem != "" || len(d.checks) != 0 || d.reason != "" || d.file {
+				t.Fatalf("not-ok parse returned non-zero directive: %+v", d)
+			}
+			if strings.HasPrefix(text, "//strlint:") {
+				t.Fatalf("strlint-addressed comment dropped silently: %q", text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//strlint:") {
+			t.Fatalf("non-directive accepted: %q", text)
+		}
+		if d.problem != "" {
+			// A malformed directive must never suppress anything.
+			for _, c := range allChecksFuzz() {
+				if d.covers(c) {
+					t.Fatalf("malformed directive %q suppresses %s", text, c)
+				}
+			}
+			return
+		}
+		// Well-formed: checks and reason are both present and clean.
+		if len(d.checks) == 0 || d.reason == "" {
+			t.Fatalf("well-formed directive missing checks or reason: %q -> %+v", text, d)
+		}
+		for _, c := range d.checks {
+			if c == "" {
+				t.Fatalf("well-formed directive with empty check entry: %q", text)
+			}
+			if strings.ContainsAny(c, " \t") {
+				t.Fatalf("check name contains whitespace: %q from %q", c, text)
+			}
+		}
+	})
+}
+
+func allChecksFuzz() []string {
+	names := AllChecks()
+	return append(names, "floateq", "nosuch")
+}

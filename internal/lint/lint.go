@@ -2,30 +2,34 @@
 // (run as `go run ./cmd/strlint ./...`). It is built on the standard
 // library only — go/parser, go/ast, go/token — matching the module's
 // stdlib-only rule, and its checks are tuned to this codebase rather than
-// to Go in general:
+// to Go in general.
 //
-//	floateq     ==/!= between floating-point values. The geometry and
-//	            Hilbert layers are full of float64 arithmetic where exact
-//	            comparison is almost always a bug; the few deliberate
-//	            exact comparisons (MBR tightness, sentinel zeros) carry
-//	            an ignore directive explaining why they are sound.
-//	droppederr  a call into internal/storage, internal/buffer or
-//	            encoding/binary whose error result is discarded. Dropped
-//	            I/O errors silently corrupt persistent trees.
-//	panics      panic() in library code (the root package and internal/*)
-//	            outside must*/Must*/init functions. Library panics are
-//	            allowed only as documented API contracts, marked with an
-//	            ignore directive.
-//	loopcapture a go or defer function literal capturing the loop
-//	            variable of an enclosing for/range statement. Safe since
-//	            Go 1.22's per-iteration variables, but flagged so the
-//	            code stays correct if ever built or backported with an
-//	            older toolchain.
-//	imports     cross-layer imports that violate the layering table in
-//	            rules.go (e.g. internal/geom must never import
-//	            internal/storage).
-//	directive   a malformed //strlint:ignore comment (unknown check name
-//	            or missing reason).
+// The package is organized as an analyzer registry (registry.go): each
+// check is a self-contained analyzer with a name, a doc string, and a
+// per-package run function over the shared AST and best-effort type
+// tables, optionally attaching suggested fixes that `strlint -fix`
+// applies as text edits. The registered checks:
+//
+//	floateq     ==/!= between floating-point values.
+//	droppederr  discarded errors from the error-critical packages
+//	            (storage, buffer, query, server, extsort, pack,
+//	            encoding/binary).
+//	panics      panic() in library code outside must*/Must*/init.
+//	loopcapture go/defer literals capturing loop variables.
+//	imports     cross-layer imports violating the table in rules.go.
+//	maporder    range over a map that emits ordered output (appends,
+//	            page writes, channel sends) in the deterministic build
+//	            layers — iteration order would leak into the output.
+//	timerand    time.Now/Since/Until or math/rand in the deterministic
+//	            build layers.
+//	guardedby   fields annotated `// guarded by <mu>` accessed without
+//	            the lock held, and mutex-by-value copies.
+//	waitpair    goroutines with no completion signal (no WaitGroup
+//	            Add/Done pairing, channel send, or close).
+//	ctxprop     context-taking exported functions that call a
+//	            context-free sibling of a *Context variant, and
+//	            context.Background()/TODO() in library packages.
+//	directive   malformed //strlint:ignore comments.
 //
 // A finding is suppressed by a directive comment on the same line or the
 // line above:
@@ -37,14 +41,17 @@
 //	//strlint:file-ignore <check> <reason>
 //
 // The reason is mandatory: every suppression documents why the flagged
-// code is deliberate.
+// code is deliberate. Findings may also be grandfathered in a committed
+// baseline file (baseline.go) keyed by check, file and count.
 package lint
 
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"slices"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic produced by a check.
@@ -52,6 +59,8 @@ type Finding struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Fix, when non-nil, is a suggested fix `strlint -fix` can apply.
+	Fix *Fix
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -59,31 +68,39 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
 }
 
-// AllChecks lists every check strlint knows, in reporting order.
-var AllChecks = []string{"floateq", "droppederr", "panics", "loopcapture", "imports", "directive"}
+// Fix is a suggested repair for a finding: a set of byte-range text
+// edits within a single file.
+type Fix struct {
+	// Message describes the repair, e.g. "discard the error explicitly".
+	Message string
+	Edits   []Edit
+}
 
-func knownCheck(name string) bool {
-	for _, c := range AllChecks {
-		if c == name {
-			return true
-		}
-	}
-	return false
+// Edit replaces the byte range [Offset, End) of Filename with Text.
+// Offset == End inserts.
+type Edit struct {
+	Filename string
+	Offset   int
+	End      int
+	Text     string
 }
 
 // Run executes the named checks (nil means all) over the given packages
 // (import paths relative to the module root; nil means every loaded
 // package) and returns the surviving findings sorted by position.
+// Packages are analyzed in parallel; output order is deterministic.
 func (a *Analyzer) Run(pkgPaths, checks []string) ([]Finding, error) {
-	enabled := map[string]bool{}
+	var enabled []*Check
 	if len(checks) == 0 {
-		checks = AllChecks
-	}
-	for _, c := range checks {
-		if !knownCheck(c) {
-			return nil, fmt.Errorf("lint: unknown check %q (have %s)", c, strings.Join(AllChecks, ", "))
+		enabled = registry
+	} else {
+		for _, name := range checks {
+			c := checkByName(name)
+			if c == nil {
+				return nil, fmt.Errorf("lint: unknown check %q (have %s)", name, strings.Join(AllChecks(), ", "))
+			}
+			enabled = append(enabled, c)
 		}
-		enabled[c] = true
 	}
 	var pkgs []*pkgInfo
 	if len(pkgPaths) == 0 {
@@ -103,9 +120,30 @@ func (a *Analyzer) Run(pkgPaths, checks []string) ([]Finding, error) {
 	}
 	slices.SortFunc(pkgs, func(a, b *pkgInfo) int { return strings.Compare(a.path, b.path) })
 
+	// One goroutine per package, bounded by GOMAXPROCS. The symbol tables
+	// are read-only after Load, so checks for different packages never
+	// share mutable state.
+	perPkg := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range pkgs {
+		wg.Add(1)
+		go func(i int, p *pkgInfo) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ps := &pass{a: a, pkg: p}
+			for _, c := range enabled {
+				c.run(ps)
+			}
+			perPkg[i] = ps.out
+		}(i, p)
+	}
+	wg.Wait()
+
 	var all []Finding
-	for _, p := range pkgs {
-		all = append(all, a.checkPackage(p, enabled)...)
+	for _, fs := range perPkg {
+		all = append(all, fs...)
 	}
 	all = a.suppress(all)
 	slices.SortFunc(all, func(a, b Finding) int {
@@ -115,7 +153,10 @@ func (a *Analyzer) Run(pkgPaths, checks []string) ([]Finding, error) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line - b.Pos.Line
 		}
-		return a.Pos.Column - b.Pos.Column
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column - b.Pos.Column
+		}
+		return strings.Compare(a.Check, b.Check)
 	})
 	return all, nil
 }
@@ -158,13 +199,17 @@ func (f *fileInfo) suppressed(check string, line int) bool {
 }
 
 type directive struct {
-	line   int
-	checks []string
-	reason string
-	file   bool // file-scope (//strlint:file-ignore)
+	line    int
+	checks  []string
+	reason  string
+	file    bool   // file-scope (//strlint:file-ignore)
+	problem string // non-empty when the directive is malformed
 }
 
 func (d directive) covers(check string) bool {
+	if d.problem != "" {
+		return false // a malformed directive never suppresses anything
+	}
 	for _, c := range d.checks {
 		if c == check {
 			return true

@@ -168,36 +168,71 @@ func (a *Analyzer) parseFile(path string) error {
 }
 
 // parseDirectives extracts //strlint:ignore and //strlint:file-ignore
-// comments. Malformed directives are kept with an empty check list so the
-// directive check can report them.
+// comments. Malformed directives are kept with their problem recorded so
+// the directive check can report them; a malformed directive never
+// suppresses anything.
 func parseDirectives(fset *token.FileSet, src *ast.File) []directive {
 	var out []directive
 	for _, cg := range src.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "//strlint:")
+			d, ok := parseIgnoreDirective(c.Text)
 			if !ok {
 				continue
 			}
-			fileScope := false
-			switch {
-			case strings.HasPrefix(text, "ignore"):
-				text = strings.TrimPrefix(text, "ignore")
-			case strings.HasPrefix(text, "file-ignore"):
-				text = strings.TrimPrefix(text, "file-ignore")
-				fileScope = true
-			default:
-				continue
-			}
-			d := directive{line: fset.Position(c.Pos()).Line, file: fileScope}
-			fields := strings.Fields(text)
-			if len(fields) >= 2 {
-				d.checks = strings.Split(fields[0], ",")
-				d.reason = strings.Join(fields[1:], " ")
-			}
+			d.line = fset.Position(c.Pos()).Line
 			out = append(out, d)
 		}
 	}
 	return out
+}
+
+// parseIgnoreDirective parses one comment's text as a strlint directive.
+// ok is false when the comment is not strlint-addressed at all
+// (no "//strlint:" prefix). Any comment that IS strlint-addressed always
+// yields a directive; structural problems (unknown verb, missing check
+// name or reason, empty entry in the check list) are recorded in
+// directive.problem rather than silently dropped, so a typo cannot turn
+// into an accidentally-inert suppression. The line field is left for the
+// caller to fill in. This function is the fuzzing surface for
+// FuzzIgnoreDirective: it must never panic on arbitrary input.
+func parseIgnoreDirective(text string) (directive, bool) {
+	rest, ok := strings.CutPrefix(text, "//strlint:")
+	if !ok {
+		return directive{}, false
+	}
+	verb := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb = rest[:i]
+	}
+	var d directive
+	switch verb {
+	case "ignore":
+	case "file-ignore":
+		d.file = true
+	default:
+		d.problem = fmt.Sprintf("unknown strlint directive %q (want ignore or file-ignore)", verb)
+		return d, true
+	}
+	body := strings.TrimSpace(rest[len(verb):])
+	fields := strings.Fields(body)
+	switch len(fields) {
+	case 0:
+		d.problem = "missing check name and reason: want //strlint:" + verb + " <check>[,<check>] <reason>"
+		return d, true
+	case 1:
+		d.checks = strings.Split(fields[0], ",")
+		d.problem = "missing reason: want //strlint:" + verb + " <check>[,<check>] <reason>"
+		return d, true
+	}
+	d.checks = strings.Split(fields[0], ",")
+	d.reason = strings.Join(fields[1:], " ")
+	for _, c := range d.checks {
+		if c == "" {
+			d.problem = fmt.Sprintf("empty check name in list %q", fields[0])
+			break
+		}
+	}
+	return d, true
 }
 
 // relPath renders a file path relative to the module root for messages.

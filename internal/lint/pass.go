@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// pass carries one package through the enabled checks: shared access to
+// the module-wide symbol tables plus the finding sink. A pass is used by
+// one goroutine at a time.
+type pass struct {
+	a   *Analyzer
+	pkg *pkgInfo
+	out []Finding
+}
+
+// reportf records a finding at pos.
+func (p *pass) reportf(pos token.Pos, check, format string, args ...any) {
+	p.report(pos, check, nil, format, args...)
+}
+
+// report records a finding at pos with an optional suggested fix.
+func (p *pass) report(pos token.Pos, check string, fix *Fix, format string, args ...any) {
+	p.out = append(p.out, Finding{
+		Pos:     p.a.fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+	})
+}
+
+// reportAt records a finding at an already-resolved position (used by the
+// directive check, whose subjects are comments without AST nodes).
+func (p *pass) reportAt(pos token.Position, check, format string, args ...any) {
+	p.out = append(p.out, Finding{Pos: pos, Check: check, Message: fmt.Sprintf(format, args...)})
+}
+
+// offsetOf translates a token.Pos into (filename, byte offset) for fix
+// edits.
+func (p *pass) offsetOf(pos token.Pos) (string, int) {
+	position := p.a.fset.Position(pos)
+	return position.Filename, position.Offset
+}
+
+// replaceEdit builds an edit replacing [from, to) with text.
+func (p *pass) replaceEdit(from, to token.Pos, text string) Edit {
+	name, off := p.offsetOf(from)
+	_, end := p.offsetOf(to)
+	return Edit{Filename: name, Offset: off, End: end, Text: text}
+}
+
+// insertEdit builds an edit inserting text at pos.
+func (p *pass) insertEdit(pos token.Pos, text string) Edit {
+	return p.replaceEdit(pos, pos, text)
+}
+
+// libraryPackage reports whether path is library code (the root package or
+// internal/*), where the panics, guardedby and ctxprop checks apply.
+func libraryPackage(path string) bool {
+	return path == "" || strings.HasPrefix(path, "internal/")
+}
+
+func pkgDisplay(path string) string {
+	if path == "" {
+		return "the root package"
+	}
+	return path
+}

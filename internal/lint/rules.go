@@ -24,6 +24,20 @@ var droppedErrTargets = map[string]bool{
 	"encoding/binary":  true,
 }
 
+// deterministicLayers are the packages on the bulk-load build path whose
+// output must be byte-identical at any worker count (the PR-4 contract):
+// the root strtree package (layer registry, catalog encoding), the packing
+// pipeline and its sorters, and the tree writer. The maporder and timerand
+// checks only fire here: map iteration order, wall-clock time and random
+// numbers must never influence what these layers write.
+var deterministicLayers = map[string]bool{
+	"":                 true, // the root strtree package
+	"internal/pack":    true,
+	"internal/psort":   true,
+	"internal/extsort": true,
+	"internal/rtree":   true,
+}
+
 // layerAllowed is the architecture of the module as an allowed-imports
 // table: for each library package, the set of module-internal packages it
 // may import ("" is the root strtree package). Anything else is a layering

@@ -51,7 +51,9 @@ func DropIntended(p *storage.Pager) {
 // worker's page-read failure — vanishes with the goroutine), and a
 // dropped error inside a goroutine body.
 func DropBatch(ex *query.Executor, p *storage.Pager) {
+	//strlint:ignore waitpair fixture isolates droppederr; the leak is the point
 	go ex.Run() // want droppederr
+	//strlint:ignore waitpair fixture isolates droppederr; the leak is the point
 	go func() {
 		p.Flush() // want droppederr
 	}()
@@ -81,6 +83,7 @@ func DropHandled(p *storage.Pager) error {
 // CaptureLoop fires loopcapture for the goroutine and the defer.
 func CaptureLoop(xs []int) {
 	for i := range xs {
+		//strlint:ignore waitpair fixture isolates loopcapture
 		go func() {
 			_ = xs[i] // want loopcapture
 		}()
@@ -95,6 +98,7 @@ func CaptureLoop(xs []int) {
 // CaptureSafely must not fire: the loop variable is passed as an argument.
 func CaptureSafely(xs []int) {
 	for i := range xs {
+		//strlint:ignore waitpair fixture isolates loopcapture
 		go func(i int) {
 			_ = xs[i]
 		}(i)

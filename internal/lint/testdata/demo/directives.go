@@ -1,6 +1,6 @@
 package demo
 
-// The two malformed directives below each fire the directive check and
+// The four malformed directives below each fire the directive check and
 // suppress nothing.
 
 //strlint:ignore floateq
@@ -10,3 +10,9 @@ func missingReason(a, b float64) bool {
 
 //strlint:ignore floatqe typo in the check name
 func unknownCheck() {}
+
+//strlint:ignored floateq the verb has a trailing d
+func unknownVerb() {}
+
+//strlint:ignore floateq,,panics a double comma leaves an empty entry
+func emptyEntry() {}

@@ -1,0 +1,54 @@
+package server
+
+import "sync"
+
+// FireAndForget fires waitpair: a named-function goroutine with no
+// WaitGroup Add anywhere before it.
+func FireAndForget(work func()) {
+	go work() // want waitpair
+}
+
+// LeakyLoop fires waitpair: the literal neither signals completion nor
+// pairs with a WaitGroup.
+func LeakyLoop(jobs []func()) {
+	for _, j := range jobs {
+		go func(j func()) { // want waitpair
+			j()
+		}(j)
+	}
+}
+
+// Waited must not fire: Add precedes the launch and the body calls Done.
+func Waited(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// RunNamed must not fire: a named-function goroutine is fine once an Add
+// appears earlier in the same function.
+func RunNamed(work func()) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go runAndDone(&wg, work)
+	return &wg
+}
+
+func runAndDone(wg *sync.WaitGroup, work func()) {
+	defer wg.Done()
+	work()
+}
+
+// Signals must not fire: the body closes a channel callers can wait on.
+func Signals(work func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}

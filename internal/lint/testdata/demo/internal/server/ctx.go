@@ -1,0 +1,40 @@
+package server
+
+import "context"
+
+// DB is a stand-in for a handle whose methods have Context variants.
+type DB struct{}
+
+// Scan is the legacy entry point.
+func (db *DB) Scan() int { return 1 }
+
+// ScanContext is the cancellable variant.
+func (db *DB) ScanContext(ctx context.Context) int {
+	_ = ctx
+	return 1
+}
+
+func find() int { return 2 }
+
+func findContext(ctx context.Context) int {
+	_ = ctx
+	return 2
+}
+
+// Lookup fires ctxprop twice: both callees have Context siblings the
+// incoming ctx never reaches.
+func Lookup(ctx context.Context, db *DB) int {
+	a := db.Scan() // want ctxprop
+	b := find()    // want ctxprop
+	return a + b
+}
+
+// LookupRight must not fire: the context is propagated.
+func LookupRight(ctx context.Context, db *DB) int {
+	return db.ScanContext(ctx) + findContext(ctx)
+}
+
+// Detached fires ctxprop: minting a root context in library code.
+func Detached() context.Context {
+	return context.Background() // want ctxprop
+}

@@ -1,0 +1,372 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// hooks are the callbacks a check installs on the shared scope-resolved
+// walk. All fields are optional. The walker maintains lexical scopes
+// (name -> best-effort type) and the stacks the checks need (enclosing
+// function names, loop-header variables), so each check stays a thin,
+// self-contained rule.
+type hooks struct {
+	// binary fires on every binary expression.
+	binary func(w *walker, sc *scope, x *ast.BinaryExpr)
+	// call fires on every call expression, wherever it appears.
+	call func(w *walker, sc *scope, x *ast.CallExpr)
+	// stmtCall fires on statement-level calls: how is "" for a plain
+	// expression statement, "go" or "defer" otherwise.
+	stmtCall func(w *walker, sc *scope, x *ast.CallExpr, how string)
+	// goStmt fires on every go statement, before its call is visited.
+	goStmt func(w *walker, sc *scope, x *ast.GoStmt)
+	// rangeOver fires on every range statement after its key/value
+	// bindings are in scope; rest holds the statements following the
+	// range in its enclosing block (for "sorted afterwards" detection).
+	rangeOver func(w *walker, sc *scope, x *ast.RangeStmt, rest []ast.Stmt)
+}
+
+// walker traverses one file's functions with a live scope, invoking the
+// installed hooks at the relevant nodes.
+type walker struct {
+	a    *Analyzer
+	r    *resolver
+	file *fileInfo
+	h    hooks
+
+	funcNames []string          // stack of enclosing function names
+	loopVars  []map[string]bool // stack of loop-header variables
+}
+
+// walkFile runs one check's hooks over every function in every file of
+// the pass's package.
+func (p *pass) walkFile(f *fileInfo, h hooks) {
+	w := &walker{
+		a:    p.a,
+		r:    &resolver{a: p.a, file: f},
+		file: f,
+		h:    h,
+	}
+	for _, decl := range f.ast.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			w.walkFuncDecl(fd)
+		}
+	}
+}
+
+// funcName returns the name of the innermost enclosing function
+// declaration, or "(unknown)".
+func (w *walker) funcName() string {
+	if len(w.funcNames) == 0 {
+		return "(unknown)"
+	}
+	return w.funcNames[len(w.funcNames)-1]
+}
+
+// inLoop reports whether name is a loop-header variable of any enclosing
+// for/range statement.
+func (w *walker) inLoop(name string) bool {
+	for _, vars := range w.loopVars {
+		if vars[name] {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) walkFuncDecl(fd *ast.FuncDecl) {
+	sc := newScope(nil)
+	if fd.Recv != nil {
+		for _, fld := range fd.Recv.List {
+			t := w.a.parseTypeExpr(w.file, fld.Type)
+			for _, name := range fld.Names {
+				sc.set(name.Name, t)
+			}
+		}
+	}
+	w.bindFieldList(sc, fd.Type.Params)
+	w.bindFieldList(sc, fd.Type.Results)
+	w.funcNames = append(w.funcNames, fd.Name.Name)
+	if fd.Body != nil {
+		w.walkBlock(sc, fd.Body)
+	}
+	w.funcNames = w.funcNames[:len(w.funcNames)-1]
+}
+
+func (w *walker) bindFieldList(sc *scope, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, fld := range fl.List {
+		t := w.a.parseTypeExpr(w.file, fld.Type)
+		for _, name := range fld.Names {
+			sc.set(name.Name, t)
+		}
+	}
+}
+
+func (w *walker) walkBlock(sc *scope, b *ast.BlockStmt) {
+	inner := newScope(sc)
+	for i, st := range b.List {
+		w.walkStmt(inner, st, b.List[i+1:])
+	}
+}
+
+// walkStmt visits one statement. rest holds the statements following st
+// in the same block (empty when st is nested in a non-block position).
+func (w *walker) walkStmt(sc *scope, st ast.Stmt, rest []ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		w.walkBlock(sc, s)
+	case *ast.ExprStmt:
+		w.visitExpr(sc, s.X)
+		if call, ok := s.X.(*ast.CallExpr); ok && w.h.stmtCall != nil {
+			w.h.stmtCall(w, sc, call, "")
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.visitExpr(sc, e)
+		}
+		for _, e := range s.Lhs {
+			if _, ok := e.(*ast.Ident); !ok {
+				w.visitExpr(sc, e)
+			}
+		}
+		if s.Tok == token.DEFINE {
+			w.r.bindAssign(sc, s.Lhs, s.Rhs)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.visitExpr(sc, v)
+			}
+			if vs.Type != nil {
+				t := w.a.parseTypeExpr(w.file, vs.Type)
+				for _, name := range vs.Names {
+					sc.set(name.Name, t)
+				}
+			} else {
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				w.r.bindAssign(sc, lhs, vs.Values)
+			}
+		}
+	case *ast.DeferStmt:
+		if w.h.stmtCall != nil {
+			w.h.stmtCall(w, sc, s.Call, "defer")
+		}
+		w.visitExpr(sc, s.Call)
+	case *ast.GoStmt:
+		if w.h.goStmt != nil {
+			w.h.goStmt(w, sc, s)
+		}
+		if w.h.stmtCall != nil {
+			w.h.stmtCall(w, sc, s.Call, "go")
+		}
+		w.visitExpr(sc, s.Call)
+	case *ast.IfStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			w.walkStmt(inner, s.Init, nil)
+		}
+		w.visitExpr(inner, s.Cond)
+		w.walkBlock(inner, s.Body)
+		if s.Else != nil {
+			w.walkStmt(inner, s.Else, nil)
+		}
+	case *ast.ForStmt:
+		inner := newScope(sc)
+		vars := map[string]bool{}
+		if s.Init != nil {
+			w.walkStmt(inner, s.Init, nil)
+			if as, ok := s.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, l := range as.Lhs {
+					if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+						vars[id.Name] = true
+					}
+				}
+			}
+		}
+		if s.Cond != nil {
+			w.visitExpr(inner, s.Cond)
+		}
+		if s.Post != nil {
+			w.walkStmt(inner, s.Post, nil)
+		}
+		w.loopVars = append(w.loopVars, vars)
+		w.walkBlock(inner, s.Body)
+		w.loopVars = w.loopVars[:len(w.loopVars)-1]
+	case *ast.RangeStmt:
+		inner := newScope(sc)
+		w.visitExpr(inner, s.X)
+		vars := map[string]bool{}
+		if s.Tok == token.DEFINE {
+			w.r.bindRange(inner, s)
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					vars[id.Name] = true
+				}
+			}
+		}
+		if w.h.rangeOver != nil {
+			w.h.rangeOver(w, inner, s, rest)
+		}
+		w.loopVars = append(w.loopVars, vars)
+		w.walkBlock(inner, s.Body)
+		w.loopVars = w.loopVars[:len(w.loopVars)-1]
+	case *ast.SwitchStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			w.walkStmt(inner, s.Init, nil)
+		}
+		if s.Tag != nil {
+			w.visitExpr(inner, s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseScope := newScope(inner)
+			for _, e := range clause.List {
+				w.visitExpr(caseScope, e)
+			}
+			for i, cs := range clause.Body {
+				w.walkStmt(caseScope, cs, clause.Body[i+1:])
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			w.walkStmt(inner, s.Init, nil)
+		}
+		var bind string
+		if as, ok := s.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				bind = id.Name
+			}
+			for _, e := range as.Rhs {
+				if ta, ok := e.(*ast.TypeAssertExpr); ok {
+					w.visitExpr(inner, ta.X)
+				}
+			}
+		}
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseScope := newScope(inner)
+			if bind != "" {
+				t := unknownType
+				if len(clause.List) == 1 {
+					t = w.a.parseTypeExpr(w.file, clause.List[0])
+				}
+				caseScope.set(bind, t)
+			}
+			for i, cs := range clause.Body {
+				w.walkStmt(caseScope, cs, clause.Body[i+1:])
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseScope := newScope(sc)
+			if clause.Comm != nil {
+				w.walkStmt(caseScope, clause.Comm, nil)
+			}
+			for i, cs := range clause.Body {
+				w.walkStmt(caseScope, cs, clause.Body[i+1:])
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.visitExpr(sc, e)
+		}
+	case *ast.SendStmt:
+		w.visitExpr(sc, s.Chan)
+		w.visitExpr(sc, s.Value)
+	case *ast.IncDecStmt:
+		w.visitExpr(sc, s.X)
+	case *ast.LabeledStmt:
+		w.walkStmt(sc, s.Stmt, rest)
+	}
+}
+
+// visitExpr recursively visits an expression, firing the expression-level
+// hooks and descending into function literals with a fresh scope.
+func (w *walker) visitExpr(sc *scope, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if w.h.binary != nil {
+			w.h.binary(w, sc, x)
+		}
+		w.visitExpr(sc, x.X)
+		w.visitExpr(sc, x.Y)
+	case *ast.CallExpr:
+		if w.h.call != nil {
+			w.h.call(w, sc, x)
+		}
+		w.visitExpr(sc, x.Fun)
+		for _, arg := range x.Args {
+			w.visitExpr(sc, arg)
+		}
+	case *ast.FuncLit:
+		lit := newScope(sc)
+		w.bindFieldList(lit, x.Type.Params)
+		w.bindFieldList(lit, x.Type.Results)
+		w.walkBlock(lit, x.Body)
+	case *ast.ParenExpr:
+		w.visitExpr(sc, x.X)
+	case *ast.SelectorExpr:
+		w.visitExpr(sc, x.X)
+	case *ast.IndexExpr:
+		w.visitExpr(sc, x.X)
+		w.visitExpr(sc, x.Index)
+	case *ast.SliceExpr:
+		w.visitExpr(sc, x.X)
+		for _, idx := range []ast.Expr{x.Low, x.High, x.Max} {
+			if idx != nil {
+				w.visitExpr(sc, idx)
+			}
+		}
+	case *ast.StarExpr:
+		w.visitExpr(sc, x.X)
+	case *ast.UnaryExpr:
+		w.visitExpr(sc, x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			w.visitExpr(sc, el)
+		}
+	case *ast.KeyValueExpr:
+		w.visitExpr(sc, x.Value)
+	case *ast.TypeAssertExpr:
+		w.visitExpr(sc, x.X)
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "(call)"
+}

@@ -46,8 +46,8 @@ type pageWriter struct {
 	wg   sync.WaitGroup
 
 	mu     sync.Mutex
-	err    error
-	closed bool
+	err    error // guarded by mu
+	closed bool  // guarded by mu
 
 	pages      int
 	writeNanos atomic.Int64
@@ -137,8 +137,11 @@ func (w *pageWriter) recycleOrNew(old []node.Entry, capHint int) []node.Entry {
 // first write error. It is idempotent, so bulk loads both defer it (for
 // early error returns) and call it explicitly before flushing.
 func (w *pageWriter) close() error {
-	if w.async && !w.closed {
-		w.closed = true
+	w.mu.Lock()
+	already := w.closed
+	w.closed = true
+	w.mu.Unlock()
+	if w.async && !already {
 		close(w.jobs)
 		w.wg.Wait()
 	}

@@ -35,12 +35,14 @@ var (
 type Client struct {
 	addr string
 
-	mu      sync.Mutex
-	conn    net.Conn
-	br      *bufio.Reader
-	timeout time.Duration // per-request deadline sent to the server; 0 = server default
-	inBuf   []byte
-	outBuf  []byte
+	mu   sync.Mutex
+	conn net.Conn      // guarded by mu
+	br   *bufio.Reader // guarded by mu
+	// guarded by mu. Per-request deadline sent to the server; 0 = server
+	// default.
+	timeout time.Duration
+	inBuf   []byte // guarded by mu
+	outBuf  []byte // guarded by mu
 }
 
 // Dial creates a client for the server at addr. The connection is

@@ -138,6 +138,7 @@ func Selftest(w io.Writer, cfg SelftestConfig) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	//strlint:ignore ctxprop selftest is a self-contained harness; its shutdown deadline is the root
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -93,9 +93,9 @@ type Server struct {
 	cancelBase context.CancelFunc
 
 	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	draining bool
+	ln       net.Listener          // guarded by mu
+	conns    map[net.Conn]struct{} // guarded by mu
+	draining bool                  // guarded by mu
 
 	reqWG  sync.WaitGroup // admitted requests (through response write)
 	connWG sync.WaitGroup // connection handler goroutines
@@ -115,6 +115,7 @@ type Server struct {
 // tree: the caller closes it after Shutdown returns.
 func New(tree *strtree.Tree, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	//strlint:ignore ctxprop the server owns its lifecycle root context; Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		tree:       tree,

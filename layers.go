@@ -223,10 +223,20 @@ func (ls *LayerSet) Open(name string) (*Tree, error) {
 	return t, nil
 }
 
-// Flush writes every opened layer's state and the catalog to storage.
+// Flush writes every opened layer's state and then the catalog to
+// storage. Layers flush in sorted name order: ls.opened is a map, and
+// ranging it directly would leak map iteration order into the sequence of
+// per-layer metadata writes, making the write stream differ from run to
+// run for no reason. Sorting pins each layer's flush — and the catalog
+// write, always last — to a deterministic position.
 func (ls *LayerSet) Flush() error {
-	for _, t := range ls.opened {
-		if err := t.Flush(); err != nil {
+	names := make([]string, 0, len(ls.opened))
+	for name := range ls.opened {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		if err := ls.opened[name].Flush(); err != nil {
 			return err
 		}
 	}

@@ -3,8 +3,12 @@ package strtree
 import (
 	"errors"
 	"path/filepath"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
+
+	"strtree/internal/storage"
 )
 
 func TestLayersInMemory(t *testing.T) {
@@ -211,5 +215,83 @@ func TestLayersSharedStats(t *testing.T) {
 	}
 	if ls.Stats().LogicalReads == 0 {
 		t.Fatal("layer reads not visible in set stats")
+	}
+}
+
+// tracePager records the sequence of WritePage calls passing through it.
+type tracePager struct {
+	storage.Pager
+	writes []storage.PageID
+}
+
+func (p *tracePager) WritePage(id storage.PageID, buf []byte) error {
+	p.writes = append(p.writes, id)
+	return p.Pager.WritePage(id, buf)
+}
+
+// TestLayersFlushOrderDeterministic is the regression test for Flush
+// ranging the opened-layers map directly: the per-layer metadata writes
+// must land in sorted name order no matter what order the layers were
+// created in. Each layer's Flush re-dirties its meta page and writes it
+// out immediately, so the last write of each meta page during
+// LayerSet.Flush observes the layer iteration order.
+func TestLayersFlushOrderDeterministic(t *testing.T) {
+	sorted := []string{"aquifers", "bridges", "canals", "dams", "easements", "fences"}
+	orders := [][]string{
+		{"fences", "bridges", "easements", "aquifers", "dams", "canals"},
+		{"canals", "dams", "aquifers", "easements", "bridges", "fences"},
+		sorted,
+	}
+	for _, order := range orders {
+		tp := &tracePager{Pager: storage.NewMemPager(4096)}
+		opts := Options{Capacity: 16, Workers: 1}.withDefaults()
+		ls, err := newLayerSet(tp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, name := range order {
+			tr, err := ls.Create(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, it := range randItems(20, int64(100+i)) {
+				if err := tr.Insert(it.Rect, it.ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		tp.writes = nil
+		if err := ls.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		metaName := map[storage.PageID]string{}
+		for name, id := range ls.catalog {
+			metaName[id] = name
+		}
+		last := map[storage.PageID]int{}
+		for i, id := range tp.writes {
+			if _, ok := metaName[id]; ok {
+				last[id] = i
+			}
+		}
+		if len(last) != len(sorted) {
+			t.Fatalf("create order %v: %d meta pages written during Flush, want %d", order, len(last), len(sorted))
+		}
+		type lastWrite struct {
+			name string
+			idx  int
+		}
+		var seq []lastWrite
+		for id, i := range last {
+			seq = append(seq, lastWrite{metaName[id], i})
+		}
+		sort.Slice(seq, func(a, b int) bool { return seq[a].idx < seq[b].idx })
+		var got []string
+		for _, lw := range seq {
+			got = append(got, lw.name)
+		}
+		if !slices.Equal(got, sorted) {
+			t.Errorf("create order %v: meta write order %v, want sorted %v", order, got, sorted)
+		}
 	}
 }
