@@ -19,7 +19,9 @@
 #                     (incl. the sharded pool's eviction hammer), the
 #                     packers, the parallel sort kernel, the concurrent
 #                     external sorter, the batch executor, the query
-#                     server (admission, deadlines, drain), the lint
+#                     server (admission, deadlines, drain, admin scrapes),
+#                     the lock-free latency histogram, the metrics
+#                     registry (updates racing expositions), the lint
 #                     engine (parallel per-package driver), and the root
 #                     package's concurrent Search/SearchBatch tests
 #
@@ -50,8 +52,8 @@ go run ./cmd/strlint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (buffer, pack, psort, extsort, query, server, lint, concurrent root tests)"
-go test -race ./internal/buffer/... ./internal/pack/... ./internal/psort/... ./internal/extsort/... ./internal/query/... ./internal/server/... ./internal/lint/...
+echo "== go test -race (buffer, pack, psort, extsort, query, server, histo, obs, lint, concurrent root tests)"
+go test -race ./internal/buffer/... ./internal/pack/... ./internal/psort/... ./internal/extsort/... ./internal/query/... ./internal/server/... ./internal/histo/... ./internal/obs/... ./internal/lint/...
 go test -race -run 'Concurrent|Batch|Sharded|View' .
 
 echo "All checks passed."

@@ -3,18 +3,21 @@
 //
 // Usage:
 //
-//	strload build -in rects.csv -out index.str [-pack STR|HS|NX] [-cap 100] [-workers N]
+//	strload build -in rects.csv -out index.str [-pack STR|HS|NX] [-cap 100] [-workers N] [-metrics]
 //	strload query -idx index.str -rect x0,y0,x1,y1 [-buffer 256]
 //	strload stats -idx index.str
 //
 // The CSV rows are "x0,y0,x1,y1[,id]"; a missing id defaults to the row
 // number. Query prints one matching item per line (id and rectangle)
-// followed by the disk-access count for the query.
+// followed by the disk-access count for the query. -metrics appends an
+// end-of-build JSON report with phase times, the write-behind queue's
+// high-water mark, external-sort spill counts and buffer I/O counters.
 package main
 
 import (
 	"bufio"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -65,6 +68,7 @@ func runBuild(args []string) error {
 	runSize := fs.Int("runsize", 1<<20, "max items in memory during an -external build")
 	workers := fs.Int("workers", 0, "goroutines for the build's sort and page-write phases (0 = GOMAXPROCS); the index bytes are identical for every value")
 	verify := fs.Bool("verify", false, "after building, re-walk the index and check every structural invariant (balance, MBR tightness, packed fill, page round-trips)")
+	metricsOut := fs.Bool("metrics", false, "print an end-of-build JSON metrics report (phase times, pages, write-behind queue peak, external-sort spills, I/O counters)")
 	fs.Parse(args)
 	inputs := 0
 	for _, s := range []string{*in, *wktIn, *geojsonIn} {
@@ -141,6 +145,7 @@ func runBuild(args []string) error {
 	}
 	h := tree.Height()
 	n := tree.Len()
+	report := buildReport(tree, n, h, packing, *external)
 	if err := tree.Close(); err != nil {
 		return err
 	}
@@ -149,7 +154,71 @@ func runBuild(args []string) error {
 		fmt.Print(", invariants verified")
 	}
 	fmt.Println()
+	if *metricsOut {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(enc))
+	}
 	return nil
+}
+
+// buildMetrics is the -metrics JSON report: what the observability layer
+// sees of one build — phase times, write-behind pressure, external-sort
+// spills, and the buffer's I/O counters. Durations are in seconds to
+// match the serving layer's Prometheus convention.
+type buildMetrics struct {
+	Items   int    `json:"items"`
+	Height  int    `json:"height"`
+	Packing string `json:"packing"`
+	Build   struct {
+		OrderSeconds   float64 `json:"order_seconds"`
+		WriteSeconds   float64 `json:"write_seconds"`
+		Pages          int     `json:"pages"`
+		WriteQueuePeak int     `json:"write_queue_peak"`
+	} `json:"build"`
+	ExtSort *struct {
+		Sorts         uint64 `json:"sorts"`
+		EntriesSorted uint64 `json:"entries_sorted"`
+		RunsSpilled   uint64 `json:"runs_spilled"`
+		Merges        uint64 `json:"merges"`
+	} `json:"extsort,omitempty"`
+	IO struct {
+		LogicalReads int64 `json:"logical_reads"`
+		DiskReads    int64 `json:"disk_reads"`
+		DiskWrites   int64 `json:"disk_writes"`
+		Evictions    int64 `json:"evictions"`
+	} `json:"io"`
+}
+
+// buildReport snapshots the tree's build statistics; it must run before
+// Close invalidates the handle.
+func buildReport(tree *strtree.Tree, n, h int, packing strtree.Packing, external bool) buildMetrics {
+	var m buildMetrics
+	m.Items = n
+	m.Height = h
+	m.Packing = packing.String()
+	bs := tree.LastBuildStats()
+	m.Build.OrderSeconds = bs.Order.Seconds()
+	m.Build.WriteSeconds = bs.Write.Seconds()
+	m.Build.Pages = bs.Pages
+	m.Build.WriteQueuePeak = bs.QueuePeak
+	if external {
+		es := tree.LastExternalSortStats()
+		m.ExtSort = &struct {
+			Sorts         uint64 `json:"sorts"`
+			EntriesSorted uint64 `json:"entries_sorted"`
+			RunsSpilled   uint64 `json:"runs_spilled"`
+			Merges        uint64 `json:"merges"`
+		}{es.Sorts, es.EntriesSorted, es.RunsSpilled, es.Merges}
+	}
+	io := tree.Stats()
+	m.IO.LogicalReads = io.LogicalReads
+	m.IO.DiskReads = io.DiskReads
+	m.IO.DiskWrites = io.DiskWrites
+	m.IO.Evictions = io.Evictions
+	return m
 }
 
 func runQuery(args []string) error {

@@ -5,18 +5,27 @@
 //
 //	strserve -idx index.str [-addr :7070] [-buffer 256] [-shards 8]
 //	         [-max-inflight 64] [-timeout 5s] [-drain-timeout 10s]
+//	         [-admin 127.0.0.1:9090] [-slowlog 250ms] [-drain-grace 2s]
 //	strserve -query x0,y0,x1,y1 [-addr host:7070]
 //	strserve -count x0,y0,x1,y1 [-addr host:7070]
 //	strserve -stats [-addr host:7070]
 //	strserve -selftest [-clients 32] [-queries 200] [-size 20000]
+//	         [-admin 127.0.0.1:0]
 //
 // The serving mode runs until SIGTERM or SIGINT, then drains gracefully:
-// it stops accepting connections, refuses new requests, finishes
-// in-flight queries under -drain-timeout, and closes the index. -query,
-// -count and -stats are one-shot clients against a running server (used
-// by CI's loopback smoke test). -selftest runs an in-process
-// server-plus-clients load harness and reports throughput and latency
-// percentiles.
+// it flips the admin health check to 503, waits -drain-grace so load
+// balancers stop routing here, stops accepting connections, refuses new
+// requests, finishes in-flight queries under -drain-timeout, and closes
+// the index. -query, -count and -stats are one-shot clients against a
+// running server (used by CI's loopback smoke test). -selftest runs an
+// in-process server-plus-clients load harness and reports throughput and
+// latency percentiles.
+//
+// -admin binds an operational HTTP endpoint serving Prometheus /metrics,
+// a JSON /stats mirror, the drain-aware /healthz and /debug/pprof. Bind
+// it to loopback or a trusted network only — the profiles and stats are
+// internals. -slowlog logs every request at or over the threshold with
+// its op, duration and result count.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +54,9 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 64, "admission cap on concurrently executing requests")
 		timeout      = flag.Duration("timeout", 5*time.Second, "default per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+		adminAddr    = flag.String("admin", "", "admin HTTP endpoint (/metrics, /stats, /healthz, /debug/pprof); empty disables; bind to loopback")
+		slowlog      = flag.Duration("slowlog", 0, "log requests at or over this duration (0 disables)")
+		drainGrace   = flag.Duration("drain-grace", 0, "delay between flipping /healthz to 503 and starting the drain")
 
 		queryRect = flag.String("query", "", "one-shot client: search rectangle x0,y0,x1,y1")
 		countRect = flag.String("count", "", "one-shot client: count matches of rectangle x0,y0,x1,y1")
@@ -66,6 +79,7 @@ func main() {
 			Size:             *size,
 			Shards:           *shards,
 			Seed:             *seed,
+			AdminAddr:        *adminAddr,
 		})
 	case *queryRect != "":
 		err = runClientQuery(*addr, *queryRect, false)
@@ -80,6 +94,9 @@ func main() {
 			maxInFlight:  *maxInFlight,
 			timeout:      *timeout,
 			drainTimeout: *drainTimeout,
+			adminAddr:    *adminAddr,
+			slowlog:      *slowlog,
+			drainGrace:   *drainGrace,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "usage: strserve -idx index.str | -query rect | -count rect | -stats | -selftest")
@@ -97,6 +114,9 @@ type serveConfig struct {
 	maxInFlight  int
 	timeout      time.Duration
 	drainTimeout time.Duration
+	adminAddr    string
+	slowlog      time.Duration
+	drainGrace   time.Duration
 }
 
 // serve opens the index read-only-shaped (queries only) and runs the
@@ -111,8 +131,9 @@ func serve(idx, addr string, cfg serveConfig) error {
 	}
 
 	srv := server.New(tree, server.Config{
-		MaxInFlight:    cfg.maxInFlight,
-		DefaultTimeout: cfg.timeout,
+		MaxInFlight:        cfg.maxInFlight,
+		DefaultTimeout:     cfg.timeout,
+		SlowQueryThreshold: cfg.slowlog,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -125,6 +146,33 @@ func serve(idx, addr string, cfg serveConfig) error {
 	fmt.Printf("strserve: serving %s (%d items, height %d) on %s\n",
 		idx, tree.Len(), tree.Height(), ln.Addr())
 
+	var adminSrv *http.Server
+	adminDone := make(chan struct{})
+	if cfg.adminAddr != "" {
+		adminLn, err := net.Listen("tcp", cfg.adminAddr)
+		if err != nil {
+			_ = ln.Close()
+			_ = tree.Close()
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		adminSrv = &http.Server{Handler: srv.AdminHandler()}
+		go func() {
+			defer close(adminDone)
+			if err := adminSrv.Serve(adminLn); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "strserve: admin: %v\n", err)
+			}
+		}()
+		fmt.Printf("strserve: admin endpoint on http://%s\n", adminLn.Addr())
+	}
+	// The admin endpoint outlives the drain — it must answer 503 and
+	// serve final metrics while requests finish — and closes last.
+	defer func() {
+		if adminSrv != nil {
+			_ = adminSrv.Close()
+			<-adminDone
+		}
+	}()
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -132,6 +180,13 @@ func serve(idx, addr string, cfg serveConfig) error {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
+		if cfg.drainGrace > 0 {
+			// Readiness-first shutdown: flip /healthz to 503, keep serving
+			// for the grace period so routers drain us, then stop.
+			fmt.Printf("strserve: %v: not ready; draining in %v\n", sig, cfg.drainGrace)
+			srv.MarkNotReady()
+			time.Sleep(cfg.drainGrace)
+		}
 		fmt.Printf("strserve: %v: draining (up to %v)\n", sig, cfg.drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 		defer cancel()

@@ -26,12 +26,16 @@ var ErrPoolExhausted = errors.New("buffer: all frames pinned")
 
 // Stats are the pool's access counters. DiskReads is the paper's "number of
 // disk accesses" metric; LogicalReads-DiskReads is the number of buffer
-// hits.
+// hits. Pinned is not a counter but a gauge sampled when the snapshot is
+// taken: frames currently pinned by in-flight readers. The serving layer's
+// admin endpoint exposes it per shard to make pin leaks and per-shard pin
+// pressure visible at runtime.
 type Stats struct {
 	LogicalReads int64 // Fetch calls
 	DiskReads    int64 // Fetch misses that went to the pager
 	DiskWrites   int64 // dirty evictions + flushes written to the pager
 	Evictions    int64 // frames evicted to make room
+	Pinned       int64 // frames pinned right now (gauge, not a counter)
 }
 
 // Policy selects the pool's replacement algorithm.
@@ -292,11 +296,18 @@ func (p *Pool) Invalidate() error {
 	return nil
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, with Pinned sampled from the
+// frame table at call time.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			s.Pinned++
+		}
+	}
+	return s
 }
 
 // ResetStats zeroes the counters. The experiments build the tree, reset,

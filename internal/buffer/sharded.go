@@ -157,6 +157,7 @@ func (s *Sharded) Stats() Stats {
 		sum.DiskReads += st.DiskReads
 		sum.DiskWrites += st.DiskWrites
 		sum.Evictions += st.Evictions
+		sum.Pinned += st.Pinned
 	}
 	return sum
 }

@@ -31,6 +31,7 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
@@ -62,6 +63,42 @@ type Sorter struct {
 	// while ingest continues (< 1 means 1). The emitted order is
 	// byte-for-byte identical for every setting; only wall time changes.
 	Workers int
+
+	// Cumulative activity counters across every Sort on this Sorter
+	// (external builds reuse one Sorter for the x phase and every slab's
+	// y phase). Atomics, so a monitoring goroutine may snapshot them with
+	// Stats while a sort runs.
+	sorts         atomic.Uint64
+	entriesSorted atomic.Uint64
+	runsSpilled   atomic.Uint64
+	merges        atomic.Uint64
+}
+
+// Stats is a snapshot of a Sorter's cumulative activity. RunsSpilled is
+// the number of sorted runs written to temp files; a sort whose input fit
+// in one in-memory run spills nothing and performs no merge, so
+// RunsSpilled == 0 with Sorts > 0 means the external machinery was never
+// needed.
+type Stats struct {
+	// Sorts counts completed Sort/SortSlice calls.
+	Sorts uint64
+	// EntriesSorted is the total entries ingested across all sorts.
+	EntriesSorted uint64
+	// RunsSpilled is the number of sorted runs written to temp files.
+	RunsSpilled uint64
+	// Merges counts k-way merge phases run (one per sort that spilled).
+	Merges uint64
+}
+
+// Stats snapshots the sorter's cumulative counters. Fields are read
+// independently; the snapshot is coherent only to within in-flight sorts.
+func (s *Sorter) Stats() Stats {
+	return Stats{
+		Sorts:         s.sorts.Load(),
+		EntriesSorted: s.entriesSorted.Load(),
+		RunsSpilled:   s.runsSpilled.Load(),
+		Merges:        s.merges.Load(),
+	}
 }
 
 // NewSorter creates a sorter for entries of the given dimensionality that
@@ -255,6 +292,8 @@ func (s *Sorter) Sort(less Less, next func() (node.Entry, bool), emit func(node.
 				return err
 			}
 		}
+		s.sorts.Add(1)
+		s.entriesSorted.Add(uint64(total))
 		return nil
 	}
 	if len(run) > 0 && failed() == nil {
@@ -365,6 +404,10 @@ func (s *Sorter) Sort(less Less, next func() (node.Entry, bool), emit func(node.
 	if emitted != total {
 		return fmt.Errorf("extsort: emitted %d of %d entries", emitted, total)
 	}
+	s.sorts.Add(1)
+	s.entriesSorted.Add(uint64(total))
+	s.runsSpilled.Add(uint64(runsSpawned))
+	s.merges.Add(1)
 	return nil
 }
 

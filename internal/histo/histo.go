@@ -100,8 +100,17 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / n)
 }
 
+// NoData is the sentinel Quantile and Quantiles return for every
+// requested quantile of an empty histogram. A zero return would be
+// indistinguishable from "all observations were zero", and the serving
+// layer's dashboards must tell an idle op (no data) apart from a very
+// fast one (real 0ns measurements). NoData is negative, which no real
+// observation can produce (Observe clamps negatives to zero), so
+// `q == NoData` — or simply `q < 0` — is a reliable emptiness test.
+const NoData = time.Duration(-1)
+
 // Quantile returns an upper bound for the q-quantile (q in [0, 1]) of the
-// observed durations, within one bucket width. It returns 0 when the
+// observed durations, within one bucket width. It returns NoData when the
 // histogram is empty. Quantile(0.5) is the median, Quantile(0.99) the p99.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.Quantiles(q)[0]
@@ -110,6 +119,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 // Quantiles computes several quantiles from one consistent snapshot of the
 // buckets, cheaper and more coherent than repeated Quantile calls under
 // concurrent writes. qs must be ascending; results match qs positionally.
+// Every result is NoData when the histogram is empty.
 func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
 	var snap [numBuckets]int64
 	total := int64(0)
@@ -120,6 +130,9 @@ func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
 	}
 	out := make([]time.Duration, len(qs))
 	if total == 0 {
+		for i := range out {
+			out[i] = NoData
+		}
 		return out
 	}
 	maxSeen := h.max.Load()
@@ -168,8 +181,21 @@ type Summary struct {
 }
 
 // Summarize digests the histogram into counters and headline quantiles.
+// An empty histogram yields the zero Summary (Count 0 disambiguates it);
+// the NoData sentinel never leaks into the unsigned wire fields.
 func (h *Histogram) Summarize() Summary {
+	if h.Count() == 0 {
+		return Summary{}
+	}
 	qs := h.Quantiles(0.50, 0.95, 0.99)
+	for i, q := range qs {
+		// Observe bumps count before the bucket add, so a concurrent
+		// snapshot can still see empty buckets; clamp the sentinel rather
+		// than let it wrap the unsigned wire fields.
+		if q < 0 {
+			qs[i] = 0
+		}
+	}
 	return Summary{
 		Count: uint64(h.Count()),
 		Mean:  uint64(h.Mean()),

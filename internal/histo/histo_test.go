@@ -59,12 +59,92 @@ func TestBucketUpperRoundTrip(t *testing.T) {
 
 func TestEmptyHistogram(t *testing.T) {
 	var h Histogram
-	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
 		t.Fatal("zero-value histogram not empty")
+	}
+	// Quantiles of an empty histogram are the documented NoData sentinel,
+	// not zero: a zero would be indistinguishable from real 0ns samples.
+	if q := h.Quantile(0.5); q != NoData {
+		t.Fatalf("empty Quantile(0.5) = %v, want NoData", q)
+	}
+	for i, q := range h.Quantiles(0, 0.5, 0.99, 1) {
+		if q != NoData {
+			t.Fatalf("empty Quantiles[%d] = %v, want NoData", i, q)
+		}
+	}
+	if NoData >= 0 {
+		t.Fatal("NoData must be negative so no real observation can produce it")
 	}
 	s := h.Summarize()
 	if s.Count != 0 || s.P99 != 0 {
 		t.Fatalf("empty summary = %+v", s)
+	}
+	// One zero-duration observation must be distinguishable from empty.
+	h.Observe(0)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile(0.5) after Observe(0) = %v, want 0", q)
+	}
+}
+
+// TestQuantileConcurrentWriters hammers one histogram from many writers
+// while readers take quantile snapshots, under -race. Every snapshot must
+// be internally consistent: either the NoData sentinel (nothing observed
+// yet) or a value within the observed range.
+func TestQuantileConcurrentWriters(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 4
+		perG    = 5000
+		maxVal  = int64(1 << 20)
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(rng.Int63n(maxVal)))
+			}
+		}(g)
+	}
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			qs := h.Quantiles(0.5, 0.99)
+			for i, q := range qs {
+				if q == NoData {
+					continue
+				}
+				// Quantile upper bounds never exceed one bucket above the
+				// largest possible observation.
+				if q < 0 || int64(q) > maxVal*2 {
+					t.Errorf("mid-flight Quantiles[%d] = %v out of range", i, q)
+					return
+				}
+			}
+			if qs[0] != NoData && qs[1] != NoData && qs[0] > qs[1] {
+				t.Errorf("p50 %v > p99 %v in one snapshot", qs[0], qs[1])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("count = %d, want %d", got, writers*perG)
+	}
+	if q := h.Quantile(1.0); q == NoData || q < 0 {
+		t.Fatalf("final p100 = %v", q)
 	}
 }
 

@@ -36,6 +36,10 @@ var deterministicLayers = map[string]bool{
 	"internal/psort":   true,
 	"internal/extsort": true,
 	"internal/rtree":   true,
+	// obs is not on the build path, but its expositions promise scrapers a
+	// deterministic series order — the same "no map iteration into output"
+	// discipline, so it opts into the maporder/timerand checks.
+	"internal/obs": true,
 }
 
 // layerAllowed is the architecture of the module as an allowed-imports
@@ -45,6 +49,7 @@ var deterministicLayers = map[string]bool{
 //
 //	geom, hilbert, storage, svg, histo (foundations: no internal imports)
 //	node, wkt, geojson, server/wire    -> geom
+//	obs                                -> histo
 //	query                              -> geom, node
 //	buffer, trace                      -> storage
 //	datagen, extsort, psort            -> geom, node
@@ -53,7 +58,7 @@ var deterministicLayers = map[string]bool{
 //	metrics, invariant                 -> rtree and below
 //	experiments                        -> everything below
 //	strtree (root)                     -> the public surface's needs
-//	server                             -> strtree root, geom, histo, query, server/wire
+//	server                             -> strtree root, geom, histo, obs, query, server/wire
 //	lint                               (standalone: no internal imports)
 //
 // internal/server is the one internal package that sits ABOVE the root:
@@ -70,6 +75,7 @@ var layerAllowed = map[string]map[string]bool{
 	"internal/svg":     {},
 	"internal/lint":    {},
 	"internal/histo":   {},
+	"internal/obs":     {"internal/histo": true},
 	"internal/node":    {"internal/geom": true},
 	"internal/query":   {"internal/geom": true, "internal/node": true},
 	"internal/wkt":     {"internal/geom": true},
@@ -122,6 +128,7 @@ var layerAllowed = map[string]map[string]bool{
 		"":                     true, // the root strtree package: the served API
 		"internal/geom":        true,
 		"internal/histo":       true,
+		"internal/obs":         true,
 		"internal/query":       true,
 		"internal/server/wire": true,
 	},

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gather renders the registry's Prometheus text exposition as a string.
+func gather(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+// TestPrometheusExposition is the table-driven format pin: each case
+// builds a registry and asserts the exact text exposition, covering label
+// escaping, label ordering, help escaping and all three kinds.
+func TestPrometheusExposition(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(r *Registry)
+		want  string
+	}{
+		{
+			name: "counter no labels",
+			build: func(r *Registry) {
+				r.Counter("requests_total", "Requests served.").Add(3)
+			},
+			want: "# HELP requests_total Requests served.\n" +
+				"# TYPE requests_total counter\n" +
+				"requests_total 3\n",
+		},
+		{
+			name: "labels sorted by key regardless of registration order",
+			build: func(r *Registry) {
+				r.Counter("hits_total", "Hits.", L("zone", "b"), L("app", "x")).Inc()
+			},
+			want: "# HELP hits_total Hits.\n" +
+				"# TYPE hits_total counter\n" +
+				"hits_total{app=\"x\",zone=\"b\"} 1\n",
+		},
+		{
+			name: "series sorted within a family",
+			build: func(r *Registry) {
+				r.Counter("ops_total", "Ops.", L("op", "search")).Add(2)
+				r.Counter("ops_total", "Ops.", L("op", "count")).Add(5)
+				r.Counter("ops_total", "Ops.", L("op", "batch")).Add(1)
+			},
+			want: "# HELP ops_total Ops.\n" +
+				"# TYPE ops_total counter\n" +
+				"ops_total{op=\"batch\"} 1\n" +
+				"ops_total{op=\"count\"} 5\n" +
+				"ops_total{op=\"search\"} 2\n",
+		},
+		{
+			name: "families sorted by name",
+			build: func(r *Registry) {
+				r.Gauge("zz_gauge", "Last.").Set(1)
+				r.Counter("aa_total", "First.").Inc()
+			},
+			want: "# HELP aa_total First.\n" +
+				"# TYPE aa_total counter\n" +
+				"aa_total 1\n" +
+				"# HELP zz_gauge Last.\n" +
+				"# TYPE zz_gauge gauge\n" +
+				"zz_gauge 1\n",
+		},
+		{
+			name: "label value escaping: quote, backslash, newline",
+			build: func(r *Registry) {
+				r.Gauge("g", "Gauge.", L("path", `C:\tmp`), L("q", "say \"hi\"\nbye")).Set(2.5)
+			},
+			want: "# HELP g Gauge.\n" +
+				"# TYPE g gauge\n" +
+				"g{path=\"C:\\\\tmp\",q=\"say \\\"hi\\\"\\nbye\"} 2.5\n",
+		},
+		{
+			name: "help escaping: backslash and newline, not quotes",
+			build: func(r *Registry) {
+				r.Counter("c_total", "line one\nline \\two \"quoted\"").Inc()
+			},
+			want: "# HELP c_total line one\\nline \\\\two \"quoted\"\n" +
+				"# TYPE c_total counter\n" +
+				"c_total 1\n",
+		},
+		{
+			name: "gauge func and counter func sample at exposition",
+			build: func(r *Registry) {
+				n := uint64(7)
+				r.CounterFunc("sampled_total", "Sampled.", func() uint64 { return n })
+				r.GaugeFunc("depth", "Depth.", func() float64 { return 1.25 })
+			},
+			want: "# HELP depth Depth.\n" +
+				"# TYPE depth gauge\n" +
+				"depth 1.25\n" +
+				"# HELP sampled_total Sampled.\n" +
+				"# TYPE sampled_total counter\n" +
+				"sampled_total 7\n",
+		},
+		{
+			name: "empty summary renders NaN quantiles and zero count",
+			build: func(r *Registry) {
+				r.Histogram("lat_seconds", "Latency.", L("op", "search"))
+			},
+			want: "# HELP lat_seconds Latency.\n" +
+				"# TYPE lat_seconds summary\n" +
+				"lat_seconds{op=\"search\",quantile=\"0.5\"} NaN\n" +
+				"lat_seconds{op=\"search\",quantile=\"0.95\"} NaN\n" +
+				"lat_seconds{op=\"search\",quantile=\"0.99\"} NaN\n" +
+				"lat_seconds_sum{op=\"search\"} 0\n" +
+				"lat_seconds_count{op=\"search\"} 0\n",
+		},
+		{
+			name: "summary observations in seconds",
+			build: func(r *Registry) {
+				h := r.Histogram("dur_seconds", "Duration.")
+				// One exact-bucket observation: quantile == value.
+				h.Observe(7 * time.Nanosecond)
+			},
+			want: "# HELP dur_seconds Duration.\n" +
+				"# TYPE dur_seconds summary\n" +
+				"dur_seconds{quantile=\"0.5\"} 7e-09\n" +
+				"dur_seconds{quantile=\"0.95\"} 7e-09\n" +
+				"dur_seconds{quantile=\"0.99\"} 7e-09\n" +
+				"dur_seconds_sum 7e-09\n" +
+				"dur_seconds_count 1\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.build(r)
+			if got := gather(t, r); got != tc.want {
+				t.Errorf("exposition mismatch:\n got: %q\nwant: %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestExpositionDeterministic registers the same metrics in two different
+// orders and requires byte-identical output — the property strlint's
+// maporder check guards structurally and this test pins behaviorally.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(perm []int) *Registry {
+		r := NewRegistry()
+		type reg func(*Registry)
+		regs := []reg{
+			func(r *Registry) { r.Counter("b_total", "B.", L("op", "x")).Add(1) },
+			func(r *Registry) { r.Counter("b_total", "B.", L("op", "y")).Add(2) },
+			func(r *Registry) { r.Gauge("a", "A.", L("shard", "1")).Set(3) },
+			func(r *Registry) { r.Gauge("a", "A.", L("shard", "0")).Set(4) },
+			func(r *Registry) { r.Histogram("c_seconds", "C.") },
+		}
+		for _, i := range perm {
+			regs[i](r)
+		}
+		return r
+	}
+	first := build([]int{0, 1, 2, 3, 4})
+	second := build([]int{4, 3, 2, 1, 0})
+	if a, b := gather(t, first), gather(t, second); a != b {
+		t.Errorf("registration order leaked into exposition:\n a: %q\n b: %q", a, b)
+	}
+
+	var ja, jb strings.Builder
+	if err := first.WriteJSON(&ja); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := second.WriteJSON(&jb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if ja.String() != jb.String() {
+		t.Errorf("JSON exposition depends on registration order")
+	}
+}
+
+// TestJSONExposition checks the JSON mirror parses and carries the same
+// values as the handles report.
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "Requests.", L("op", "search")).Add(11)
+	r.Gauge("in_flight", "In flight.").Set(2)
+	h := r.Histogram("lat_seconds", "Latency.")
+	h.Observe(5 * time.Nanosecond)
+	r.Histogram("idle_seconds", "Never observed.")
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var families []struct {
+		Name   string `json:"name"`
+		Kind   string `json:"kind"`
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Value  *float64          `json:"value"`
+			Count  *uint64           `json:"count"`
+			P50    *float64          `json:"p50_seconds"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &families); err != nil {
+		t.Fatalf("exposed JSON does not parse: %v\n%s", err, sb.String())
+	}
+	byName := map[string]int{}
+	for i, f := range families {
+		byName[f.Name] = i
+	}
+	if f := families[byName["reqs_total"]]; *f.Series[0].Value != 11 || f.Series[0].Labels["op"] != "search" {
+		t.Errorf("reqs_total series = %+v", f.Series[0])
+	}
+	if f := families[byName["in_flight"]]; *f.Series[0].Value != 2 {
+		t.Errorf("in_flight = %+v", f.Series[0])
+	}
+	if f := families[byName["lat_seconds"]]; *f.Series[0].Count != 1 || *f.Series[0].P50 != 5e-9 {
+		t.Errorf("lat_seconds = %+v", f.Series[0])
+	}
+	// Empty summary quantiles are JSON null (NaN is unrepresentable).
+	if f := families[byName["idle_seconds"]]; f.Series[0].P50 != nil {
+		t.Errorf("idle_seconds p50 = %v, want null", *f.Series[0].P50)
+	}
+}
+
+// TestRegistrationContracts pins the loud-failure contract for wiring
+// mistakes: bad names, duplicate series, kind conflicts.
+func TestRegistrationContracts(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("invalid metric name", func() { r.Counter("9bad", "x") })
+	mustPanic("invalid label key", func() { r.Counter("ok_total", "x", L("9k", "v")) })
+	mustPanic("duplicate label key", func() { r.Counter("ok2_total", "x", L("k", "a"), L("k", "b")) })
+	r.Counter("dup_total", "x", L("op", "a"))
+	mustPanic("duplicate series", func() { r.Counter("dup_total", "x", L("op", "a")) })
+	mustPanic("kind conflict", func() { r.Gauge("dup_total", "x", L("op", "b")) })
+}
+
+// TestConcurrentUpdatesAndScrapes exercises handle updates racing with
+// exposition under -race.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h_seconds", "H.")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(time.Duration(j))
+			}
+		}()
+	}
+	var swg sync.WaitGroup
+	swg.Add(1)
+	go func() {
+		defer swg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	swg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v, want 0", g.Value())
+	}
+}
+
+// TestGaugeNonFinite pins the text rendering of the IEEE edge values.
+func TestGaugeNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("weird", "W.", L("v", "nan")).Set(math.NaN())
+	r.Gauge("weird", "W.", L("v", "pinf")).Set(math.Inf(1))
+	want := "# HELP weird W.\n# TYPE weird gauge\n" +
+		"weird{v=\"nan\"} NaN\n" +
+		"weird{v=\"pinf\"} +Inf\n"
+	if got := gather(t, r); got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}

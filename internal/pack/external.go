@@ -31,6 +31,25 @@ type STRExternal struct {
 	// sorting/spilling with input streaming (< 1 means 1). The emitted
 	// order is identical for every setting.
 	Workers int
+	// StatsOut, when non-nil, receives the external sorter's cumulative
+	// activity after a successful Pack — how often the RunSize budget
+	// forced spills, and how much was merged. It exists so callers above
+	// this layer can report sort behavior without importing extsort.
+	StatsOut *SortStats
+}
+
+// SortStats mirrors extsort.Stats for consumers above the pack layer.
+type SortStats struct {
+	// Sorts counts completed external-sort invocations (one for the x
+	// phase plus one per y slab).
+	Sorts uint64
+	// EntriesSorted is the total entries ingested across those sorts.
+	EntriesSorted uint64
+	// RunsSpilled is the number of sorted runs written to temp files;
+	// zero means every phase fit within RunSize.
+	RunsSpilled uint64
+	// Merges counts k-way merge phases (one per sort that spilled).
+	Merges uint64
 }
 
 func (s STRExternal) runSize() int {
@@ -145,6 +164,15 @@ func (s STRExternal) Pack(n int, src func() (node.Entry, bool), emit func(node.E
 			return fmt.Errorf("pack: slab short by %d entries", left)
 		}
 		remaining -= take
+	}
+	if s.StatsOut != nil {
+		st := sorter.Stats()
+		*s.StatsOut = SortStats{
+			Sorts:         st.Sorts,
+			EntriesSorted: st.EntriesSorted,
+			RunsSpilled:   st.RunsSpilled,
+			Merges:        st.Merges,
+		}
 	}
 	return nil
 }

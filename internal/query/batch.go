@@ -41,6 +41,50 @@ type BatchExecutor struct {
 	// consumers (strbench -concurrency, the serving layer's selftest)
 	// hang their percentile accounting here.
 	Observe func(i int, d time.Duration)
+	// Metrics, when non-nil, receives the executor's activity counters
+	// and gauges. One ExecMetrics may be shared by many executors (a
+	// served tree creates one executor per batch request); all updates
+	// are atomic.
+	Metrics *ExecMetrics
+}
+
+// ExecMetrics aggregates batch-executor activity across batches for the
+// observability layer: how deep the work queue currently is, how many
+// workers are executing, and cumulative batch/query throughput. All
+// fields are atomics — read them with Load or snapshot with Stats. The
+// zero value is ready to use.
+type ExecMetrics struct {
+	// BatchesStarted and BatchesDone count Run/RunCount calls.
+	BatchesStarted atomic.Uint64
+	BatchesDone    atomic.Uint64
+	// QueriesDone counts individually completed queries (failed ones
+	// included — they consumed a worker).
+	QueriesDone atomic.Uint64
+	// QueuedQueries is a gauge: queries admitted to some batch but not yet
+	// claimed by a worker.
+	QueuedQueries atomic.Int64
+	// ActiveWorkers is a gauge: worker goroutines (or the sequential fast
+	// path) currently executing a query.
+	ActiveWorkers atomic.Int64
+}
+
+// ExecStats is a point-in-time snapshot of ExecMetrics.
+type ExecStats struct {
+	BatchesStarted, BatchesDone, QueriesDone uint64
+	QueuedQueries, ActiveWorkers             int64
+}
+
+// Stats snapshots the metrics. The fields are read independently, so the
+// snapshot is coherent only to within in-flight updates — fine for
+// monitoring, not for invariant checks.
+func (m *ExecMetrics) Stats() ExecStats {
+	return ExecStats{
+		BatchesStarted: m.BatchesStarted.Load(),
+		BatchesDone:    m.BatchesDone.Load(),
+		QueriesDone:    m.QueriesDone.Load(),
+		QueuedQueries:  m.QueuedQueries.Load(),
+		ActiveWorkers:  m.ActiveWorkers.Load(),
+	}
 }
 
 // workers resolves the pool size for one batch.
@@ -123,10 +167,31 @@ func (e *BatchExecutor) run(qs []geom.Rect, do func(i int, q geom.Rect) error) e
 			return err
 		}
 	}
+	claimed := 0 // queries handed to a worker, for the queue-gauge drain
+	if m := e.Metrics; m != nil {
+		m.BatchesStarted.Add(1)
+		m.QueuedQueries.Add(int64(n))
+		defer func() {
+			// An aborted batch abandons its unclaimed queries; they must
+			// leave the queue gauge with it or the gauge leaks upward.
+			m.QueuedQueries.Add(int64(claimed - n))
+			m.BatchesDone.Add(1)
+		}()
+		inner := do
+		do = func(i int, q geom.Rect) error {
+			m.QueuedQueries.Add(-1)
+			m.ActiveWorkers.Add(1)
+			err := inner(i, q)
+			m.ActiveWorkers.Add(-1)
+			m.QueriesDone.Add(1)
+			return err
+		}
+	}
 	w := e.workers(n)
 	if w == 1 {
 		// Sequential fast path: no goroutines, deterministic fetch order.
 		for i, q := range qs {
+			claimed = i + 1
 			if err := do(i, q); err != nil {
 				return fmt.Errorf("query %d: %w", i, err)
 			}
@@ -161,5 +226,10 @@ func (e *BatchExecutor) run(qs []geom.Rect, do func(i int, q geom.Rect) error) e
 		}()
 	}
 	wg.Wait()
+	if c := int(cursor.Load()); c < n {
+		claimed = c
+	} else {
+		claimed = n
+	}
 	return firstErr
 }

@@ -32,6 +32,11 @@ type BuildStats struct {
 	Write time.Duration
 	// Pages is the number of node pages written.
 	Pages int
+	// QueuePeak is the write-behind queue's high-water mark (0 for
+	// single-worker builds, which write inline). A peak near the queue
+	// capacity means packing outran the writer and was close to blocking
+	// on page I/O.
+	QueuePeak int
 }
 
 // LastBuildStats returns the phase breakdown of the most recent BulkLoad
@@ -95,6 +100,7 @@ func (t *Tree) BulkLoad(entries []node.Entry, o Orderer) (err error) {
 	t.count = uint64(len(entries))
 	stats.Write = w.writeTime()
 	stats.Pages = w.pages
+	stats.QueuePeak = w.queuePeak
 	t.buildStats = stats
 	return t.Flush()
 }

@@ -100,6 +100,7 @@ func (t *Tree) BulkLoadOrdered(next func() (node.Entry, bool, error), o Orderer)
 	t.count = count
 	stats.Write = w.writeTime()
 	stats.Pages = w.pages
+	stats.QueuePeak = w.queuePeak
 	t.buildStats = stats
 	return t.Flush()
 }

@@ -49,7 +49,11 @@ type pageWriter struct {
 	err    error // guarded by mu
 	closed bool  // guarded by mu
 
-	pages      int
+	pages int
+	// queuePeak is the deepest the job queue got during the build — the
+	// observability signal for "is the writer keeping up or is packing
+	// about to block". Written and read from the build goroutine only.
+	queuePeak  int
 	writeNanos atomic.Int64
 }
 
@@ -112,6 +116,12 @@ func (w *pageWriter) emit(id storage.PageID, n *node.Node, recycle bool) error {
 	}
 	if err := w.firstErr(); err != nil {
 		return err
+	}
+	// Depth including the job about to enqueue; len is a momentary reading
+	// (the writer drains concurrently) but a high-water mark of it is the
+	// right "was the queue ever near blocking" signal.
+	if d := len(w.jobs) + 1; d > w.queuePeak {
+		w.queuePeak = d
 	}
 	w.jobs <- pageJob{id: id, n: node.Node{Level: n.Level, Dims: n.Dims, Entries: n.Entries}, recycle: recycle}
 	return nil

@@ -8,6 +8,9 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +37,13 @@ type SelftestConfig struct {
 	MaxInFlight int
 	// Seed fixes data and workload generation.
 	Seed int64
+	// AdminAddr, when non-empty, binds the admin HTTP endpoint there
+	// ("127.0.0.1:0" for an ephemeral port) and extends the selftest into
+	// an admin smoke test: /healthz must answer 200 under load, /metrics
+	// must expose non-zero request counters and one buffer series per
+	// shard, /stats must serve JSON, and /healthz must flip to 503 the
+	// moment the drain begins.
+	AdminAddr string
 }
 
 func (c SelftestConfig) withDefaults() SelftestConfig {
@@ -102,6 +112,30 @@ func Selftest(w io.Writer, cfg SelftestConfig) error {
 	go func() { serveErr <- srv.Serve(ln) }()
 	addr := ln.Addr().String()
 
+	var adminURL string
+	if cfg.AdminAddr != "" {
+		adminLn, err := net.Listen("tcp", cfg.AdminAddr)
+		if err != nil {
+			return fmt.Errorf("selftest: admin listen: %w", err)
+		}
+		adminSrv := &http.Server{Handler: srv.AdminHandler()}
+		adminDone := make(chan struct{})
+		go func() {
+			defer close(adminDone)
+			_ = adminSrv.Serve(adminLn) // returns http.ErrServerClosed on Close
+		}()
+		defer func() {
+			_ = adminSrv.Close()
+			<-adminDone
+		}()
+		adminURL = "http://" + adminLn.Addr().String()
+		if status, body, err := httpGet(adminURL + "/healthz"); err != nil {
+			return fmt.Errorf("selftest: admin /healthz: %w", err)
+		} else if status != http.StatusOK || body != "ok\n" {
+			return fmt.Errorf("selftest: admin /healthz before drain = %d %q, want 200 \"ok\"", status, body)
+		}
+	}
+
 	// Workload: the paper's 1% region queries, a disjoint slice per client.
 	total := cfg.Clients * cfg.QueriesPerClient
 	qs := query.Regions(total, query.Extent1Pct, cfg.Seed+1)
@@ -138,11 +172,35 @@ func Selftest(w io.Writer, cfg SelftestConfig) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	if adminURL != "" {
+		if err := verifyAdmin(w, adminURL, cfg.Shards); err != nil {
+			return fmt.Errorf("selftest: %w", err)
+		}
+		// The k8s readiness sequence: flip /healthz before draining so
+		// routers stop sending traffic, then verify the flip is visible.
+		srv.MarkNotReady()
+		if status, _, err := httpGet(adminURL + "/healthz"); err != nil {
+			return fmt.Errorf("selftest: admin /healthz: %w", err)
+		} else if status != http.StatusServiceUnavailable {
+			return fmt.Errorf("selftest: admin /healthz after MarkNotReady = %d, want 503", status)
+		}
+	}
+
 	//strlint:ignore ctxprop selftest is a self-contained harness; its shutdown deadline is the root
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("selftest: drain: %w", err)
+	}
+	if adminURL != "" {
+		// The admin endpoint outlives the drain — scraping a draining
+		// server is exactly when the numbers matter — and keeps saying 503.
+		if status, _, err := httpGet(adminURL + "/healthz"); err != nil {
+			return fmt.Errorf("selftest: admin /healthz: %w", err)
+		} else if status != http.StatusServiceUnavailable {
+			return fmt.Errorf("selftest: admin /healthz during drain = %d, want 503", status)
+		}
+		fmt.Fprintf(w, "  admin: /healthz flipped to 503 before and during drain\n")
 	}
 	if err := <-serveErr; err != nil {
 		return fmt.Errorf("selftest: serve: %w", err)
@@ -177,4 +235,77 @@ func hitRatio(logical, disk uint64) float64 {
 		return 0
 	}
 	return 1 - float64(disk)/float64(logical)
+}
+
+// httpGet fetches one admin URL, returning status code and body.
+func httpGet(url string) (int, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(body), nil
+}
+
+// verifyAdmin asserts the admin endpoint's post-load contract: /metrics
+// is Prometheus text with non-zero request counters and one buffer
+// series per shard, and /stats serves a JSON array.
+func verifyAdmin(w io.Writer, adminURL string, shards int) error {
+	status, body, err := httpGet(adminURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("admin /metrics: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("admin /metrics = %d, want 200", status)
+	}
+	for _, typeLine := range []string{
+		"# TYPE strserve_requests_total counter",
+		"# TYPE strserve_op_latency_seconds summary",
+		"# TYPE strserve_buffer_hits_total counter",
+		"# TYPE strserve_buffer_pinned_frames gauge",
+	} {
+		if !strings.Contains(body, typeLine+"\n") {
+			return fmt.Errorf("admin /metrics: missing %q", typeLine)
+		}
+	}
+	var requests float64
+	hitShards := 0
+	for _, line := range strings.Split(body, "\n") {
+		val := func() (float64, error) {
+			i := strings.LastIndexByte(line, ' ')
+			return strconv.ParseFloat(line[i+1:], 64)
+		}
+		switch {
+		case strings.HasPrefix(line, "strserve_requests_total{"):
+			v, err := val()
+			if err != nil {
+				return fmt.Errorf("admin /metrics: bad sample %q: %w", line, err)
+			}
+			requests += v
+		case strings.HasPrefix(line, "strserve_buffer_hits_total{"):
+			if _, err := val(); err != nil {
+				return fmt.Errorf("admin /metrics: bad sample %q: %w", line, err)
+			}
+			hitShards++
+		}
+	}
+	if requests < 0.5 { // counters are integral; < 0.5 means none
+		return fmt.Errorf("admin /metrics: strserve_requests_total is zero after load")
+	}
+	if hitShards != shards {
+		return fmt.Errorf("admin /metrics: %d buffer hit series, want one per shard (%d)", hitShards, shards)
+	}
+	status, statsBody, err := httpGet(adminURL + "/stats")
+	if err != nil {
+		return fmt.Errorf("admin /stats: %w", err)
+	}
+	if status != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(statsBody), "[") {
+		return fmt.Errorf("admin /stats = %d %.40q, want a 200 JSON array", status, statsBody)
+	}
+	fmt.Fprintf(w, "  admin: /metrics ok (%.0f requests, %d shard series), /stats ok\n", requests, hitShards)
+	return nil
 }

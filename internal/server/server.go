@@ -37,6 +37,7 @@ import (
 
 	"strtree"
 	"strtree/internal/histo"
+	"strtree/internal/obs"
 	"strtree/internal/server/wire"
 )
 
@@ -56,8 +57,14 @@ type Config struct {
 	// BatchWorkers is the executor pool size for OpBatch requests;
 	// 0 means GOMAXPROCS.
 	BatchWorkers int
+	// SlowQueryThreshold enables the slow-query log: a request whose
+	// execution takes at least this long gets one Logf line recording its
+	// op, duration and result count, and increments the slow-query
+	// counter. 0 disables the log.
+	SlowQueryThreshold time.Duration
 	// Logf, when non-nil, receives one line per server-side failure
-	// (internal errors, accept errors). nil disables logging.
+	// (internal errors, accept errors) and per slow query. nil disables
+	// logging.
 	Logf func(format string, args ...any)
 }
 
@@ -106,9 +113,25 @@ type Server struct {
 	timedOut  atomic.Uint64
 	failed    atomic.Uint64
 	completed atomic.Uint64
+	slow      atomic.Uint64
+
+	// notReady flips the admin /healthz endpoint to 503 ahead of the
+	// actual drain (MarkNotReady), so load balancers stop routing before
+	// requests start being refused.
+	notReady atomic.Bool
+
+	// Per-op breakdowns, indexed by Op-1: requests executed, failures
+	// (internal errors), and deadline/cancellation expiries.
+	reqOp      [wire.NumOps]atomic.Uint64
+	errOp      [wire.NumOps]atomic.Uint64
+	deadlineOp [wire.NumOps]atomic.Uint64
 
 	latAll histo.Histogram
 	latOp  [wire.NumOps]histo.Histogram
+
+	// reg is the admin endpoint's metrics registry, built once in New;
+	// its series sample the atomics above at scrape time.
+	reg *obs.Registry
 }
 
 // New builds a server over an opened tree. The server does not own the
@@ -117,7 +140,7 @@ func New(tree *strtree.Tree, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	//strlint:ignore ctxprop the server owns its lifecycle root context; Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		tree:       tree,
 		cfg:        cfg,
 		sem:        make(chan struct{}, cfg.MaxInFlight),
@@ -125,6 +148,8 @@ func New(tree *strtree.Tree, cfg Config) *Server {
 		cancelBase: cancel,
 		conns:      map[net.Conn]struct{}{},
 	}
+	s.reg = s.buildRegistry()
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -198,6 +223,17 @@ func (s *Server) Draining() bool {
 	defer s.mu.Unlock()
 	return s.draining
 }
+
+// MarkNotReady flips the admin /healthz endpoint to 503 without starting
+// the drain: queries keep being served. Call it a grace period before
+// Shutdown so load balancers and orchestrators stop routing new clients
+// here while the ones already connected finish normally (strserve's
+// -drain-grace does exactly this). Shutdown implies it.
+func (s *Server) MarkNotReady() { s.notReady.Store(true) }
+
+// Ready reports whether the admin health endpoint should answer 200:
+// neither marked not-ready nor draining.
+func (s *Server) Ready() bool { return !s.notReady.Load() && !s.Draining() }
 
 // handleConn serves one connection: frames are read and answered in
 // order. Any transport or framing error closes the connection; request-
@@ -290,19 +326,49 @@ func (h *connHandler) serveOne(payload []byte) (keep bool) {
 	elapsed := time.Since(start)
 	s.latAll.Observe(elapsed)
 	s.latOp[req.Op-1].Observe(elapsed)
+	s.reqOp[req.Op-1].Add(1)
 
 	switch {
 	case err == nil:
 		s.completed.Add(1)
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		s.timedOut.Add(1)
+		s.deadlineOp[req.Op-1].Add(1)
 		resp = &wire.Response{Status: wire.StatusDeadline, Op: req.Op, Err: err.Error()}
 	default:
 		s.failed.Add(1)
+		s.errOp[req.Op-1].Add(1)
 		s.logf("strserve: %v request failed: %v", req.Op, err)
 		resp = &wire.Response{Status: wire.StatusInternal, Op: req.Op, Err: err.Error()}
 	}
+	if t := s.cfg.SlowQueryThreshold; t > 0 && elapsed >= t {
+		s.slow.Add(1)
+		s.logf("strserve: slow query: op=%v dur=%v results=%d status=%v",
+			req.Op, elapsed, resultCount(resp), resp.Status)
+	}
 	return h.writeResp(resp)
+}
+
+// resultCount is the slow-query log's result-size figure: matches for
+// searches, the count for counts, neighbors for nearest, summed matches
+// for batches; error responses report 0.
+func resultCount(resp *wire.Response) uint64 {
+	switch {
+	case resp.Status != wire.StatusOK:
+		return 0
+	case resp.Op == wire.OpCount:
+		return resp.Count
+	case resp.Op == wire.OpBatch:
+		n := uint64(0)
+		for _, items := range resp.Batch {
+			n += uint64(len(items))
+		}
+		return n
+	case resp.Op == wire.OpNearest:
+		return uint64(len(resp.Neighbors))
+	default:
+		return uint64(len(resp.Items))
+	}
 }
 
 // admit applies admission control: a full semaphore fast-fails with
@@ -449,6 +515,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	ln := s.ln
 	s.mu.Unlock()
+	s.notReady.Store(true)
 
 	// Stop accepting. Serve's Accept unblocks with an error, sees
 	// draining, and returns nil.

@@ -213,7 +213,7 @@ func (t *Tree) BulkLoadExternal(next func() (Item, bool), opts ExternalOptions) 
 	if workers == 0 {
 		workers = t.inner.Workers()
 	}
-	packer := pack.STRExternal{RunSize: opts.RunSize, TmpDir: opts.TmpDir, Workers: workers}
+	packer := pack.STRExternal{RunSize: opts.RunSize, TmpDir: opts.TmpDir, Workers: workers, StatsOut: &t.extSortStats}
 	ch := make(chan node.Entry, 256)
 	errc := make(chan error, 1)
 	go func() {

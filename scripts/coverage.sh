@@ -1,0 +1,44 @@
+#!/bin/sh
+# scripts/coverage.sh — the coverage ratchet gate (CI's coverage job).
+#
+# Runs the full test suite with statement coverage and fails if the total
+# drops below the committed floor in COVERAGE_BASELINE. The floor is a
+# ratchet, not a target: it sits a little below the real number so
+# incidental churn (moved files, refactors) doesn't flake, but a change
+# that lands a meaningful amount of untested code fails loudly.
+#
+# To move the ratchet after coverage genuinely improves:
+#
+#   ./scripts/coverage.sh            # prints the current total
+#   echo "<new floor>" > COVERAGE_BASELINE
+#
+# and commit COVERAGE_BASELINE with the change that earned it. Keep the
+# floor ~1-2 points below the measured total.
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline=$(cat COVERAGE_BASELINE)
+
+go test -count=1 -coverprofile=coverage.out ./...
+total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+
+echo "coverage: total ${total}% (committed floor ${baseline}%)"
+
+if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t+0 < b+0) }'; then
+    cat >&2 <<EOF
+
+coverage gate FAILED: total statement coverage ${total}% is below the
+committed floor of ${baseline}% (COVERAGE_BASELINE).
+
+Either add tests for the new code, or — if the drop is justified (e.g.
+a large amount of intentionally untestable glue landed) — lower the
+floor explicitly:
+
+    echo "<new floor>" > COVERAGE_BASELINE
+
+and explain why in the commit message. Inspect what is uncovered with:
+
+    go tool cover -html=coverage.out
+EOF
+    exit 1
+fi

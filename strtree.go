@@ -234,6 +234,12 @@ type Tree struct {
 	// shared trees (views, layers) do not own the pager; Close releases
 	// only their own state.
 	shared bool
+	// batchMetrics aggregates batch-executor activity across every
+	// SearchBatch/SearchBatchCount on this handle, for BatchExecStats.
+	batchMetrics query.ExecMetrics
+	// extSortStats holds the external sorter's counters from the most
+	// recent BulkLoadExternal, for LastExternalSortStats.
+	extSortStats pack.SortStats
 }
 
 // ErrReadOnly is returned by mutations on a read-only View.
@@ -363,6 +369,7 @@ func (t *Tree) batchExecutor(workers int) *query.BatchExecutor {
 	return &query.BatchExecutor{
 		Workers: workers,
 		Search:  t.inner.Search,
+		Metrics: &t.batchMetrics,
 	}
 }
 
@@ -442,6 +449,85 @@ func (t *Tree) Stats() IOStats {
 // ResetStats zeroes the I/O counters, typically after a build so queries
 // are measured alone.
 func (t *Tree) ResetStats() { t.pool.ResetStats() }
+
+// ShardIOStats is one buffer shard's counters: the IOStats accumulators
+// plus Pinned, a gauge of frames pinned at the moment of the snapshot.
+// Persistent imbalance across shards means the page-number hash is
+// concentrating hot pages, and a Pinned count near a shard's share of the
+// buffer means queries risk stalling on frame eviction.
+type ShardIOStats struct {
+	IOStats
+	Pinned int64
+}
+
+// ShardStats returns per-shard buffer counters — one element per shard
+// for a tree opened with Options.BufferShards > 1, a single element for
+// the default unsharded buffer. The snapshot is taken shard by shard, so
+// concurrent queries may move counters between elements mid-read; totals
+// remain consistent with Stats to within in-flight fetches.
+func (t *Tree) ShardStats() []ShardIOStats {
+	var per []buffer.Stats
+	if s, ok := t.pool.(*buffer.Sharded); ok {
+		per = s.ShardStats()
+	} else {
+		per = []buffer.Stats{t.pool.Stats()}
+	}
+	out := make([]ShardIOStats, len(per))
+	for i, s := range per {
+		out[i] = ShardIOStats{
+			IOStats: IOStats{
+				LogicalReads: s.LogicalReads,
+				DiskReads:    s.DiskReads,
+				DiskWrites:   s.DiskWrites,
+				Evictions:    s.Evictions,
+			},
+			Pinned: s.Pinned,
+		}
+	}
+	return out
+}
+
+// BatchExecStats is the cumulative batch-query activity of one tree
+// handle: batches and queries completed, plus two point-in-time gauges —
+// queries admitted but not yet claimed by a worker, and workers currently
+// executing.
+type BatchExecStats struct {
+	BatchesStarted, BatchesDone, QueriesDone uint64
+	QueuedQueries, ActiveWorkers             int64
+}
+
+// BatchExecStats snapshots the counters accumulated by every SearchBatch
+// and SearchBatchCount on this handle (views keep their own).
+func (t *Tree) BatchExecStats() BatchExecStats {
+	s := t.batchMetrics.Stats()
+	return BatchExecStats{
+		BatchesStarted: s.BatchesStarted,
+		BatchesDone:    s.BatchesDone,
+		QueriesDone:    s.QueriesDone,
+		QueuedQueries:  s.QueuedQueries,
+		ActiveWorkers:  s.ActiveWorkers,
+	}
+}
+
+// BuildStats is the phase breakdown of a bulk load; see LastBuildStats.
+type BuildStats = rtree.BuildStats
+
+// LastBuildStats returns where the most recent BulkLoad or
+// BulkLoadExternal on this tree spent its time (zero if none ran): wall
+// time inside the packing sort, cumulative page-write time (overlapping
+// the sort when Workers > 1), pages written, and the write-behind
+// queue's high-water mark.
+func (t *Tree) LastBuildStats() BuildStats { return t.inner.LastBuildStats() }
+
+// ExternalSortStats reports the external sorter's activity during a
+// BulkLoadExternal; see LastExternalSortStats.
+type ExternalSortStats = pack.SortStats
+
+// LastExternalSortStats returns the external-merge-sort counters from the
+// most recent successful BulkLoadExternal on this tree (zero if none
+// ran): sorts performed, entries ingested, runs spilled to temp files and
+// k-way merges. RunsSpilled == 0 means every phase fit in RunSize.
+func (t *Tree) LastExternalSortStats() ExternalSortStats { return t.extSortStats }
 
 // DropCaches writes back dirty pages and empties the buffer pool, so the
 // next queries run cold.
