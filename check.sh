@@ -22,8 +22,10 @@
 #                     server (admission, deadlines, drain, admin scrapes),
 #                     the lock-free latency histogram, the metrics
 #                     registry (updates racing expositions), the lint
-#                     engine (parallel per-package driver), and the root
-#                     package's concurrent Search/SearchBatch tests
+#                     engine (parallel per-package driver), the fan-out
+#                     router (scatter-gather, health probing, drain), and
+#                     the root package's concurrent Search/SearchBatch
+#                     tests
 #
 # The script is plain POSIX sh with no interactive steps, so CI runs it
 # verbatim (.github/workflows/ci.yml). It needs only a Go toolchain on
@@ -52,8 +54,8 @@ go run ./cmd/strlint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (buffer, pack, psort, extsort, query, server, histo, obs, lint, concurrent root tests)"
-go test -race ./internal/buffer/... ./internal/pack/... ./internal/psort/... ./internal/extsort/... ./internal/query/... ./internal/server/... ./internal/histo/... ./internal/obs/... ./internal/lint/...
+echo "== go test -race (buffer, pack, psort, extsort, query, server, router, histo, obs, lint, concurrent root tests)"
+go test -race ./internal/buffer/... ./internal/pack/... ./internal/psort/... ./internal/extsort/... ./internal/query/... ./internal/server/... ./internal/router/... ./internal/histo/... ./internal/obs/... ./internal/lint/...
 go test -race -run 'Concurrent|Batch|Sharded|View' .
 
 echo "All checks passed."

@@ -7,6 +7,7 @@
 //	strbench -concurrency [-workers 1,2,4,8] [-shards 8] [-scale 0.2] [-queries 500]
 //	strbench -build [-n 1000000] [-extn 200000] [-runsize 65536] [-workers 1,2,4,8]
 //	strbench -ci BENCH_CI.json [-baseline BENCH_BASELINE.json]
+//	strbench -replay slow.jsonl -idx index.str [-buffer 256] [-k 10]
 //
 // Each experiment prints the same rows the paper reports (figures are
 // emitted as their data series). By default the suite runs at one fifth of
@@ -27,6 +28,11 @@
 // -ci runs a fixed deterministic experiment slice and writes the results
 // as JSON; with -baseline it compares against a committed report and exits
 // non-zero on any access-count drift (see ci.go).
+//
+// -replay re-executes a slow-query capture (strserve -slowlog-json)
+// against an index file and reports per-op counts, latency percentiles
+// and buffer-pool access counts — the offline half of the capture-replay
+// loop (see replay.go).
 package main
 
 import (
@@ -62,8 +68,28 @@ func main() {
 
 		ci       = flag.String("ci", "", "write a deterministic benchmark report (JSON) to this file and exit")
 		baseline = flag.String("baseline", "", "with -ci: compare the report against this baseline, exit 1 on drift")
+
+		replay    = flag.String("replay", "", "replay a strserve -slowlog-json capture against -idx and report per-op cost")
+		replayIdx = flag.String("idx", "", "with -replay: index file to replay against")
+		bufPages  = flag.Int("buffer", 256, "with -replay: buffer pool pages")
+		bufShards = flag.Int("bufshards", 1, "with -replay: buffer pool shards")
+		replayK   = flag.Int("k", 0, "with -replay: override k for nearest records (0 keeps the captured k)")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		err := runReplay(os.Stdout, *replay, replayConfig{
+			idx:      *replayIdx,
+			bufPages: *bufPages,
+			shards:   *bufShards,
+			k:        *replayK,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "strbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ci != "" {
 		if err := runCI(*ci, *baseline); err != nil {

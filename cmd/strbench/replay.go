@@ -1,0 +1,186 @@
+package main
+
+// This file is `strbench -replay`: the replay half of the slow-query
+// capture loop. strserve -slowlog-json appends one JSON record per slow
+// request; -replay re-executes that captured workload against an index
+// file and reports per-op counts, latency percentiles and buffer-pool
+// access counts, so a production slow tail can be reproduced and
+// measured offline against different buffer sizes or packings.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"strtree"
+	"strtree/internal/server"
+	"strtree/internal/server/wire"
+)
+
+type replayConfig struct {
+	idx      string
+	bufPages int
+	shards   int
+	k        int // override for nearest records missing k (0 keeps capture)
+}
+
+type replayOpStats struct {
+	count   int
+	results uint64
+	lats    []time.Duration
+}
+
+// runReplay loads the captured slow queries, re-executes them in capture
+// order against the index, and prints the per-op cost report.
+func runReplay(w io.Writer, logPath string, cfg replayConfig) error {
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	records, err := server.ReadSlowLog(f)
+	_ = f.Close()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("replay: %s holds no records", logPath)
+	}
+	if cfg.idx == "" {
+		return fmt.Errorf("replay: -idx is required")
+	}
+
+	tree, err := strtree.Open(cfg.idx, strtree.Options{
+		BufferPages:  cfg.bufPages,
+		BufferShards: cfg.shards,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = tree.Close() }()
+	tree.ResetStats()
+
+	fmt.Fprintf(w, "replaying %d captured queries from %s against %s (%d items, height %d)\n",
+		len(records), logPath, cfg.idx, tree.Len(), tree.Height())
+
+	perOp := map[string]*replayOpStats{}
+	var all []time.Duration
+	skipped := 0
+	start := time.Now()
+	for i := range records {
+		req, err := records[i].Request()
+		if err != nil {
+			fmt.Fprintf(w, "  skip record %d: %v\n", i+1, err)
+			skipped++
+			continue
+		}
+		n, err := replayOne(tree, req, cfg.k)
+		if err != nil {
+			return fmt.Errorf("replay record %d (%s): %w", i+1, records[i].Op, err)
+		}
+		elapsed := n.elapsed
+		st := perOp[records[i].Op]
+		if st == nil {
+			st = &replayOpStats{}
+			perOp[records[i].Op] = st
+		}
+		st.count++
+		st.results += n.results
+		st.lats = append(st.lats, elapsed)
+		all = append(all, elapsed)
+	}
+	wall := time.Since(start)
+	if len(all) == 0 {
+		return fmt.Errorf("replay: all %d records were unreplayable", len(records))
+	}
+
+	ops := make([]string, 0, len(perOp))
+	for op := range perOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %10s %10s %10s\n",
+		"op", "queries", "results", "p50", "p95", "p99", "max")
+	for _, op := range ops {
+		st := perOp[op]
+		sort.Slice(st.lats, func(a, b int) bool { return st.lats[a] < st.lats[b] })
+		fmt.Fprintf(w, "%-12s %8d %10d %10v %10v %10v %10v\n",
+			op, st.count, st.results,
+			quantileDur(st.lats, 0.50), quantileDur(st.lats, 0.95),
+			quantileDur(st.lats, 0.99), st.lats[len(st.lats)-1])
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	io1 := tree.Stats()
+	fmt.Fprintf(w, "total: %d queries in %v (%.0f q/s), p50 %v, p99 %v",
+		len(all), wall.Round(time.Millisecond),
+		float64(len(all))/wall.Seconds(),
+		quantileDur(all, 0.50), quantileDur(all, 0.99))
+	if skipped > 0 {
+		fmt.Fprintf(w, ", %d skipped", skipped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "io: %d logical reads, %d disk reads, %d evictions (%.2f logical reads/query)\n",
+		io1.LogicalReads, io1.DiskReads, io1.Evictions,
+		float64(io1.LogicalReads)/float64(len(all)))
+	return nil
+}
+
+type replayResult struct {
+	results uint64
+	elapsed time.Duration
+}
+
+// replayOne executes one captured request against the tree, timing the
+// query alone.
+func replayOne(tree *strtree.Tree, req *wire.Request, kOverride int) (replayResult, error) {
+	var results uint64
+	start := time.Now()
+	var err error
+	switch req.Op {
+	case wire.OpSearch:
+		err = tree.Search(req.Query, func(strtree.Item) bool { results++; return true })
+	case wire.OpCount:
+		var n int
+		n, err = tree.Count(req.Query)
+		results = uint64(n)
+	case wire.OpSearchPoint:
+		err = tree.SearchPoint(req.Point, func(strtree.Item) bool { results++; return true })
+	case wire.OpNearest:
+		k := int(req.K)
+		if kOverride > 0 {
+			k = kOverride
+		}
+		var items []strtree.Item
+		items, _, err = tree.NearestK(req.Point, k)
+		results = uint64(len(items))
+	case wire.OpBatch:
+		var per [][]strtree.Item
+		per, err = tree.SearchBatch(req.Batch, 1)
+		for _, r := range per {
+			results += uint64(len(r))
+		}
+	case wire.OpStats:
+		// Nothing to execute locally; a stats record is cost-free.
+	default:
+		return replayResult{}, fmt.Errorf("unsupported op %v", req.Op)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return replayResult{}, err
+	}
+	return replayResult{results: results, elapsed: elapsed}, nil
+}
+
+// quantileDur reads the q-quantile from an ascending-sorted sample by
+// nearest rank.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

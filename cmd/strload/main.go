@@ -4,6 +4,7 @@
 // Usage:
 //
 //	strload build -in rects.csv -out index.str [-pack STR|HS|NX] [-cap 100] [-workers N] [-metrics]
+//	strload build -in rects.csv -out index.str -shards 3
 //	strload query -idx index.str -rect x0,y0,x1,y1 [-buffer 256]
 //	strload stats -idx index.str
 //
@@ -12,6 +13,9 @@
 // followed by the disk-access count for the query. -metrics appends an
 // end-of-build JSON report with phase times, the write-behind queue's
 // high-water mark, external-sort spill counts and buffer I/O counters.
+// -shards N STR-partitions the dataset into N spatial slabs, builds one
+// index file per slab and writes a shards.json manifest for the
+// multi-node pipeline (strserve -map/-shard behind strrouter).
 package main
 
 import (
@@ -69,6 +73,7 @@ func runBuild(args []string) error {
 	workers := fs.Int("workers", 0, "goroutines for the build's sort and page-write phases (0 = GOMAXPROCS); the index bytes are identical for every value")
 	verify := fs.Bool("verify", false, "after building, re-walk the index and check every structural invariant (balance, MBR tightness, packed fill, page round-trips)")
 	metricsOut := fs.Bool("metrics", false, "print an end-of-build JSON metrics report (phase times, pages, write-behind queue peak, external-sort spills, I/O counters)")
+	shards := fs.Int("shards", 0, "split the dataset into N spatial shards by STR slab partitioning: writes one index file per shard plus a shards.json manifest for strserve -map and strrouter (STR packing, in-memory build only)")
 	fs.Parse(args)
 	inputs := 0
 	for _, s := range []string{*in, *wktIn, *geojsonIn} {
@@ -96,6 +101,28 @@ func runBuild(args []string) error {
 	}
 	if *external && packing != strtree.PackSTR {
 		return fmt.Errorf("build: -external supports only STR packing")
+	}
+	if *shards > 0 {
+		if *external {
+			return fmt.Errorf("build: -shards requires an in-memory build (drop -external)")
+		}
+		if packing != strtree.PackSTR {
+			return fmt.Errorf("build: -shards uses STR slab partitioning; only -pack STR is supported")
+		}
+		var items []strtree.Item
+		var err error
+		switch {
+		case *wktIn != "":
+			items, err = readWKTItems(*wktIn)
+		case *geojsonIn != "":
+			items, err = readGeoJSONItems(*geojsonIn)
+		default:
+			items, err = readItems(*in)
+		}
+		if err != nil {
+			return err
+		}
+		return buildShards(items, *out, *shards, *capacity, *workers, *verify)
 	}
 
 	tree, err := strtree.Create(*out, strtree.Options{Capacity: *capacity, Workers: *workers})

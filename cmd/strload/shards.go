@@ -1,0 +1,90 @@
+package main
+
+// This file is `strload build -shards N`: the dataset-level STR
+// partition. The items are reordered into STR tiling order and cut into
+// N contiguous slabs (internal/router/shardmap over internal/pack); each
+// slab becomes its own index file, and a shards.json manifest records
+// every shard's MBR, count and index file so strserve (-map/-shard) can
+// serve one shard and strrouter can prune fan-out by MBR overlap.
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"strtree"
+	"strtree/internal/node"
+	"strtree/internal/router/shardmap"
+)
+
+// shardIndexName is shard i's index file name for a given -out: the out
+// path's stem plus ".shard<i>" plus the original extension, e.g.
+// index.str -> index.shard0.str.
+func shardIndexName(out string, i int) string {
+	base := filepath.Base(out)
+	ext := filepath.Ext(base)
+	stem := strings.TrimSuffix(base, ext)
+	if ext == "" {
+		ext = ".str"
+	}
+	return fmt.Sprintf("%s.shard%d%s", stem, i, ext)
+}
+
+// buildShards partitions items into shards spatial slabs and builds one
+// packed index per slab next to out, plus the shards.json manifest in
+// out's directory. Addrs are left empty: the deployment decides which
+// server holds which shard (strrouter -backends fills them in, or the
+// manifest is edited in place).
+func buildShards(items []strtree.Item, out string, shards, capacity, workers int, verify bool) error {
+	entries := make([]node.Entry, len(items))
+	for i, it := range items {
+		entries[i] = node.Entry{Rect: it.Rect, Ref: uint64(i)}
+	}
+	m, parts, err := shardmap.Partition(entries, shards, workers)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(out)
+	total := 0
+	for i, part := range parts {
+		name := shardIndexName(out, i)
+		m.Shards[i].Index = name
+		sub := make([]strtree.Item, len(part))
+		for j, e := range part {
+			sub[j] = items[e.Ref]
+		}
+		path := filepath.Join(dir, name)
+		tree, err := strtree.Create(path, strtree.Options{Capacity: capacity, Workers: workers})
+		if err != nil {
+			return err
+		}
+		if err := tree.BulkLoad(sub, strtree.PackSTR); err != nil {
+			_ = tree.Close()
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if verify {
+			if err := tree.CheckPackedInvariants(); err != nil {
+				_ = tree.Close()
+				return fmt.Errorf("shard %d: verification failed: %w", i, err)
+			}
+		}
+		h := tree.Height()
+		n := tree.Len()
+		if err := tree.Close(); err != nil {
+			return err
+		}
+		total += n
+		fmt.Printf("built %s: shard %d/%d, %d items, height %d, mbr %v\n",
+			path, i, len(parts), n, h, m.Shards[i].MBR.Rect())
+	}
+	manifest := filepath.Join(dir, "shards.json")
+	if err := m.Save(manifest); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d shards, %d items total", manifest, len(parts), total)
+	if verify {
+		fmt.Print(", invariants verified")
+	}
+	fmt.Println()
+	return nil
+}

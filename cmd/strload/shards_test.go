@@ -1,0 +1,97 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"strtree"
+	"strtree/internal/geom"
+	"strtree/internal/router/shardmap"
+)
+
+func TestShardIndexName(t *testing.T) {
+	cases := []struct{ out, want string }{
+		{"index.str", "index.shard2.str"},
+		{"/data/idx/world.str", "world.shard2.str"},
+		{"bare", "bare.shard2.str"},
+		{"a.b.idx", "a.b.shard2.idx"},
+	}
+	for _, tc := range cases {
+		if got := shardIndexName(tc.out, 2); got != tc.want {
+			t.Errorf("shardIndexName(%q, 2) = %q, want %q", tc.out, got, tc.want)
+		}
+	}
+}
+
+// TestBuildShards runs the partitioned build end to end in a temp dir:
+// the manifest must validate, every shard index must open with the
+// manifest's count, and the shard counts must cover the input exactly.
+func TestBuildShards(t *testing.T) {
+	items := make([]strtree.Item, 900)
+	for i := range items {
+		x := float64(i%30) / 30
+		y := float64(i/30) / 30
+		items[i] = strtree.Item{Rect: geom.R2(x, y, x+0.02, y+0.02), ID: uint64(i)}
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "index.str")
+	if err := buildShards(items, out, 3, 16, 1, true); err != nil {
+		t.Fatal(err)
+	}
+
+	manifest := filepath.Join(dir, "shards.json")
+	m, err := shardmap.Load(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 3 || m.Dims != 2 {
+		t.Fatalf("manifest: %d shards, %d dims", len(m.Shards), m.Dims)
+	}
+	total := 0
+	for i, s := range m.Shards {
+		tree, err := strtree.Open(m.IndexPath(manifest, i), strtree.Options{BufferPages: 32})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if tree.Len() != s.Count {
+			t.Errorf("shard %d: index holds %d items, manifest says %d", i, tree.Len(), s.Count)
+		}
+		// Every item in the shard must sit inside the manifest MBR.
+		mbr := s.MBR.Rect()
+		n, err := tree.Count(mbr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != tree.Len() {
+			t.Errorf("shard %d: MBR contains %d of %d items", i, n, tree.Len())
+		}
+		total += tree.Len()
+		if err := tree.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != len(items) {
+		t.Errorf("shards hold %d items, input had %d", total, len(items))
+	}
+}
+
+func TestBuildShardsEdgeCounts(t *testing.T) {
+	// More shards than items clamps to one shard per item (the documented
+	// STRPartition behavior); the manifest records what was actually built.
+	items := []strtree.Item{{Rect: geom.R2(0, 0, 1, 1), ID: 1}}
+	dir := t.TempDir()
+	if err := buildShards(items, filepath.Join(dir, "index.str"), 5, 16, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	m, err := shardmap.Load(filepath.Join(dir, "shards.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 1 {
+		t.Errorf("1 item across 5 requested shards built %d shards, want 1", len(m.Shards))
+	}
+
+	if err := buildShards(nil, filepath.Join(t.TempDir(), "index.str"), 2, 16, 1, false); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"strtree/internal/router/shardmap"
+)
+
+func twoShardMap(addrs ...[]string) *shardmap.Map {
+	m := &shardmap.Map{
+		Version: shardmap.FormatVersion,
+		Dims:    2,
+		Shards: []shardmap.Shard{
+			{ID: 0, MBR: shardmap.RectJSON{Min: []float64{0, 0}, Max: []float64{0.5, 1}}, Count: 1},
+			{ID: 1, MBR: shardmap.RectJSON{Min: []float64{0.5, 0}, Max: []float64{1, 1}}, Count: 1},
+		},
+	}
+	for i, a := range addrs {
+		m.Shards[i].Addrs = a
+	}
+	return m
+}
+
+func TestApplyBackends(t *testing.T) {
+	// Positional fill, with '|'-separated replicas and whitespace trim.
+	m := twoShardMap()
+	if err := applyBackends(m, "a:1, b:1|b:2"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Shards[0].Addrs, []string{"a:1"}) {
+		t.Errorf("shard 0 addrs = %v", m.Shards[0].Addrs)
+	}
+	if !reflect.DeepEqual(m.Shards[1].Addrs, []string{"b:1", "b:2"}) {
+		t.Errorf("shard 1 addrs = %v", m.Shards[1].Addrs)
+	}
+
+	// -backends overrides manifest addresses.
+	m = twoShardMap([]string{"old:1"}, []string{"old:2"})
+	if err := applyBackends(m, "new:1,new:2"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards[0].Addrs[0] != "new:1" {
+		t.Errorf("override failed: %v", m.Shards[0].Addrs)
+	}
+
+	// Empty flag keeps complete manifest addresses.
+	m = twoShardMap([]string{"a:1"}, []string{"b:1"})
+	if err := applyBackends(m, ""); err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards[0].Addrs[0] != "a:1" {
+		t.Errorf("manifest addrs lost: %v", m.Shards[0].Addrs)
+	}
+}
+
+func TestApplyBackendsErrors(t *testing.T) {
+	// No flag and a shard without addresses.
+	if err := applyBackends(twoShardMap([]string{"a:1"}), ""); err == nil {
+		t.Error("manifest with an addressless shard accepted")
+	}
+	// Entry count must match the shard count.
+	if err := applyBackends(twoShardMap(), "only:1"); err == nil {
+		t.Error("one entry for two shards accepted")
+	}
+	// Empty replica address.
+	if err := applyBackends(twoShardMap(), "a:1,|b:2"); err == nil {
+		t.Error("empty replica address accepted")
+	}
+}

@@ -6,6 +6,8 @@
 //	strserve -idx index.str [-addr :7070] [-buffer 256] [-shards 8]
 //	         [-max-inflight 64] [-timeout 5s] [-drain-timeout 10s]
 //	         [-admin 127.0.0.1:9090] [-slowlog 250ms] [-drain-grace 2s]
+//	         [-slowlog-json slow.jsonl]
+//	strserve -map shards.json -shard 0 [flags as above]
 //	strserve -query x0,y0,x1,y1 [-addr host:7070]
 //	strserve -count x0,y0,x1,y1 [-addr host:7070]
 //	strserve -stats [-addr host:7070]
@@ -25,7 +27,12 @@
 // a JSON /stats mirror, the drain-aware /healthz and /debug/pprof. Bind
 // it to loopback or a trusted network only — the profiles and stats are
 // internals. -slowlog logs every request at or over the threshold with
-// its op, duration and result count.
+// its op, duration and result count; -slowlog-json additionally appends
+// each one as a JSON line that strbench -replay can re-execute.
+//
+// -map/-shard serve one shard of a partitioned build (strload build
+// -shards N): the index path is resolved from the manifest, so the same
+// manifest drives the backends and the strrouter fan-out proxy.
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"time"
 
 	"strtree"
+	"strtree/internal/router/shardmap"
 	"strtree/internal/server"
 )
 
@@ -56,7 +64,10 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		adminAddr    = flag.String("admin", "", "admin HTTP endpoint (/metrics, /stats, /healthz, /debug/pprof); empty disables; bind to loopback")
 		slowlog      = flag.Duration("slowlog", 0, "log requests at or over this duration (0 disables)")
+		slowlogJSON  = flag.String("slowlog-json", "", "append slow queries as JSON lines to this file (one object per query; requires -slowlog > 0); strbench -replay re-executes the capture")
 		drainGrace   = flag.Duration("drain-grace", 0, "delay between flipping /healthz to 503 and starting the drain")
+		mapPath      = flag.String("map", "", "shards.json manifest written by strload build -shards; -shard selects which entry to serve")
+		shardID      = flag.Int("shard", -1, "shard number to serve from the -map manifest")
 
 		queryRect = flag.String("query", "", "one-shot client: search rectangle x0,y0,x1,y1")
 		countRect = flag.String("count", "", "one-shot client: count matches of rectangle x0,y0,x1,y1")
@@ -87,17 +98,24 @@ func main() {
 		err = runClientQuery(*addr, *countRect, true)
 	case *stats:
 		err = runClientStats(*addr)
-	case *idx != "":
-		err = serve(*idx, *addr, serveConfig{
-			bufPages:     *bufPages,
-			shards:       *shards,
-			maxInFlight:  *maxInFlight,
-			timeout:      *timeout,
-			drainTimeout: *drainTimeout,
-			adminAddr:    *adminAddr,
-			slowlog:      *slowlog,
-			drainGrace:   *drainGrace,
-		})
+	case *idx != "" || *mapPath != "":
+		target := *idx
+		if *mapPath != "" {
+			target, err = resolveShardIndex(*mapPath, *shardID, *idx)
+		}
+		if err == nil {
+			err = serve(target, *addr, serveConfig{
+				bufPages:     *bufPages,
+				shards:       *shards,
+				maxInFlight:  *maxInFlight,
+				timeout:      *timeout,
+				drainTimeout: *drainTimeout,
+				adminAddr:    *adminAddr,
+				slowlog:      *slowlog,
+				slowlogJSON:  *slowlogJSON,
+				drainGrace:   *drainGrace,
+			})
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: strserve -idx index.str | -query rect | -count rect | -stats | -selftest")
 		os.Exit(2)
@@ -116,7 +134,27 @@ type serveConfig struct {
 	drainTimeout time.Duration
 	adminAddr    string
 	slowlog      time.Duration
+	slowlogJSON  string
 	drainGrace   time.Duration
+}
+
+// resolveShardIndex maps -map/-shard to the shard's index file. An
+// explicit -idx wins (the manifest then only documents the topology).
+func resolveShardIndex(mapPath string, shardID int, idx string) (string, error) {
+	if idx != "" {
+		return idx, nil
+	}
+	m, err := shardmap.Load(mapPath)
+	if err != nil {
+		return "", err
+	}
+	if shardID < 0 || shardID >= len(m.Shards) {
+		return "", fmt.Errorf("-shard %d out of range: manifest has %d shards", shardID, len(m.Shards))
+	}
+	if m.Shards[shardID].Index == "" {
+		return "", fmt.Errorf("shard %d has no index file in %s", shardID, mapPath)
+	}
+	return m.IndexPath(mapPath, shardID), nil
 }
 
 // serve opens the index read-only-shaped (queries only) and runs the
@@ -130,14 +168,32 @@ func serve(idx, addr string, cfg serveConfig) error {
 		return err
 	}
 
-	srv := server.New(tree, server.Config{
+	var slowFile *os.File
+	if cfg.slowlogJSON != "" {
+		if cfg.slowlog <= 0 {
+			_ = tree.Close()
+			return fmt.Errorf("-slowlog-json requires -slowlog > 0 (the threshold decides what is captured)")
+		}
+		slowFile, err = os.OpenFile(cfg.slowlogJSON, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			_ = tree.Close()
+			return err
+		}
+		defer func() { _ = slowFile.Close() }()
+	}
+
+	srvCfg := server.Config{
 		MaxInFlight:        cfg.maxInFlight,
 		DefaultTimeout:     cfg.timeout,
 		SlowQueryThreshold: cfg.slowlog,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	})
+	}
+	if slowFile != nil {
+		srvCfg.SlowLogJSON = slowFile
+	}
+	srv := server.New(tree, srvCfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		_ = tree.Close()

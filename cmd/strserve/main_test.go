@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"strtree/internal/router/shardmap"
+)
+
+func writeManifest(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	m := &shardmap.Map{
+		Version: shardmap.FormatVersion,
+		Dims:    2,
+		Shards: []shardmap.Shard{
+			{ID: 0, MBR: shardmap.RectJSON{Min: []float64{0, 0}, Max: []float64{0.5, 1}}, Count: 1, Index: "index.shard0.str"},
+			{ID: 1, MBR: shardmap.RectJSON{Min: []float64{0.5, 0}, Max: []float64{1, 1}}, Count: 1},
+		},
+	}
+	path := filepath.Join(dir, "shards.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestResolveShardIndex(t *testing.T) {
+	manifest := writeManifest(t)
+
+	// -idx wins over the manifest.
+	got, err := resolveShardIndex(manifest, 0, "explicit.str")
+	if err != nil || got != "explicit.str" {
+		t.Errorf("explicit idx: %q, %v", got, err)
+	}
+
+	// Shard 0 resolves to its index file next to the manifest.
+	got, err = resolveShardIndex(manifest, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(filepath.Dir(manifest), "index.shard0.str"); got != want {
+		t.Errorf("resolved %q, want %q", got, want)
+	}
+
+	// Out-of-range and index-less shards are errors.
+	if _, err := resolveShardIndex(manifest, 2, ""); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := resolveShardIndex(manifest, -1, ""); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if _, err := resolveShardIndex(manifest, 1, ""); err == nil {
+		t.Error("shard without an index file accepted")
+	}
+	if _, err := resolveShardIndex(filepath.Join(t.TempDir(), "nosuch.json"), 0, ""); err == nil {
+		t.Error("missing manifest accepted")
+	}
+}
+
+func TestParseRect(t *testing.T) {
+	r, err := parseRect("0.1, 0.2,0.3,0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Min[0] != 0.1 || r.Max[1] != 0.4 {
+		t.Errorf("parsed %v", r)
+	}
+	for _, bad := range []string{"", "1,2,3", "a,b,c,d", "0,0,1"} {
+		if _, err := parseRect(bad); err == nil {
+			t.Errorf("parseRect(%q) accepted", bad)
+		}
+	}
+}

@@ -41,7 +41,7 @@ func TestLoadDemoModule(t *testing.T) {
 	if a.Module() != "demo" {
 		t.Fatalf("module = %q", a.Module())
 	}
-	want := []string{"", "internal/geom", "internal/pack", "internal/query", "internal/rtree", "internal/server", "internal/storage", "internal/widget"}
+	want := []string{"", "internal/geom", "internal/pack", "internal/query", "internal/router", "internal/rtree", "internal/server", "internal/storage", "internal/widget"}
 	got := a.Packages()
 	if len(got) != len(want) {
 		t.Fatalf("packages = %v, want %v", got, want)
@@ -62,7 +62,7 @@ func TestEveryCheckFires(t *testing.T) {
 		"droppederr":  6, // plain call, defer, encoding/binary, go call, goroutine body, intra-package call
 		"panics":      1, // widget.Explode only; Must*/init exempt
 		"loopcapture": 2, // goroutine capture + defer capture
-		"imports":     2, // geom->storage violation + widget missing from table
+		"imports":     3, // geom->storage violation + router->rtree violation + widget missing from table
 		"directive":   4, // missing reason, unknown check, unknown verb, empty list entry
 		"maporder":    2, // unsorted key collection + in-range write (sorted collection exempt)
 		"timerand":    3, // time.Now, time.Since, rand.Intn in a build layer
@@ -93,6 +93,7 @@ func TestFindingDetails(t *testing.T) {
 		"loop variable i captured by go literal",
 		"loop variable x captured by defer literal",
 		"internal/geom must not import internal/storage",
+		"internal/router must not import internal/rtree",
 		"package internal/widget missing from the strlint layering table",
 		"error from internal/storage defer call p.Close is discarded",
 		"error from encoding/binary call binary.Write is discarded",

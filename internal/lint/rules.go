@@ -19,6 +19,7 @@ var droppedErrTargets = map[string]bool{
 	"internal/buffer":  true,
 	"internal/query":   true,
 	"internal/server":  true,
+	"internal/router":  true,
 	"internal/extsort": true,
 	"internal/pack":    true,
 	"encoding/binary":  true,
@@ -58,13 +59,19 @@ var deterministicLayers = map[string]bool{
 //	metrics, invariant                 -> rtree and below
 //	experiments                        -> everything below
 //	strtree (root)                     -> the public surface's needs
+//	router/shardmap                    -> geom, node, pack
 //	server                             -> strtree root, geom, histo, obs, query, server/wire
+//	router                             -> strtree root, geom, histo, node, obs, router/shardmap, server, server/wire
 //	lint                               (standalone: no internal imports)
 //
-// internal/server is the one internal package that sits ABOVE the root:
-// it serves the public Tree API over the network, so it imports strtree
-// itself. That is safe (the root never imports it back) and keeps the
-// serving layer off the paper-reproduction core's dependency graph.
+// internal/server and internal/router sit ABOVE the root: they serve the
+// public Tree API over the network (the router multiplying it across a
+// shard fleet, reusing server's client and connection I/O). That is safe
+// (the root never imports them back) and keeps the serving layers off
+// the paper-reproduction core's dependency graph. router/shardmap, by
+// contrast, is a low layer: it only partitions entries with pack's STR
+// tiling, so index-building tools can shard without touching the
+// serving stack.
 //
 // Commands (cmd/*) and examples are deliberately unconstrained: they are
 // leaves that may wire any layers together.
@@ -124,6 +131,21 @@ var layerAllowed = map[string]map[string]bool{
 		"internal/trace":   true,
 	},
 	"internal/server/wire": {"internal/geom": true},
+	"internal/router/shardmap": {
+		"internal/geom": true,
+		"internal/node": true,
+		"internal/pack": true,
+	},
+	"internal/router": {
+		"":                         true, // root strtree: the selftest builds backend trees
+		"internal/geom":            true,
+		"internal/histo":           true,
+		"internal/node":            true,
+		"internal/obs":             true,
+		"internal/router/shardmap": true,
+		"internal/server":          true,
+		"internal/server/wire":     true,
+	},
 	"internal/server": {
 		"":                     true, // the root strtree package: the served API
 		"internal/geom":        true,

@@ -1,0 +1,10 @@
+// Package router fixtures the serving-side layering rows: the fan-out
+// router may reuse the server stack and the shard map, but must never
+// reach into the tree internals directly — it sees data only through
+// backends. Importing internal/rtree is the violation.
+package router
+
+import "demo/internal/rtree"
+
+// Peek drags the tree internals into the routing layer.
+func Peek(s *rtree.Store, id int) []byte { return s.Get(id) }

@@ -1,0 +1,107 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+
+	"strtree/internal/geom"
+	"strtree/internal/node"
+)
+
+func partitionEntries(n int, seed int64) []node.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]node.Entry, n)
+	for i := range entries {
+		x, y := rng.Float64(), rng.Float64()
+		entries[i] = node.Entry{
+			Rect: geom.Rect{Min: geom.Pt2(x, y), Max: geom.Pt2(x+0.01, y+0.01)},
+			Ref:  uint64(i),
+		}
+	}
+	return entries
+}
+
+func TestSTRPartitionShapes(t *testing.T) {
+	cases := []struct {
+		n, parts  int
+		wantParts int
+	}{
+		{0, 4, 0},
+		{1, 4, 1},   // fewer items than parts: one singleton part
+		{3, 8, 3},   // parts capped at n
+		{10, 4, 4},  // cap 3: parts 3,3,3,1
+		{100, 1, 1}, // single part is the identity partition
+		{1000, 7, 7},
+	}
+	for _, tc := range cases {
+		entries := partitionEntries(tc.n, 1)
+		bounds := STRPartition(entries, tc.parts, 1)
+		if len(bounds) != tc.wantParts {
+			t.Errorf("n=%d parts=%d: got %d parts, want %d", tc.n, tc.parts, len(bounds), tc.wantParts)
+			continue
+		}
+		covered := 0
+		maxSize := 0
+		for i, b := range bounds {
+			if b[0] != covered {
+				t.Errorf("n=%d parts=%d: part %d starts at %d, want %d (contiguous cover)", tc.n, tc.parts, i, b[0], covered)
+			}
+			covered = b[1]
+			if sz := b[1] - b[0]; sz > maxSize {
+				maxSize = sz
+			}
+		}
+		if covered != tc.n {
+			t.Errorf("n=%d parts=%d: parts cover %d entries, want %d", tc.n, tc.parts, covered, tc.n)
+		}
+		if tc.n > 0 {
+			cap := (tc.n + tc.parts - 1) / tc.parts
+			if maxSize > cap {
+				t.Errorf("n=%d parts=%d: largest part %d exceeds cap %d", tc.n, tc.parts, maxSize, cap)
+			}
+		}
+	}
+}
+
+// TestSTRPartitionDeterministic pins the workers-independence contract:
+// the reordered entries and the boundaries are identical at every worker
+// count.
+func TestSTRPartitionDeterministic(t *testing.T) {
+	base := partitionEntries(5000, 42)
+	ref := append([]node.Entry(nil), base...)
+	refBounds := STRPartition(ref, 5, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got := append([]node.Entry(nil), base...)
+		gotBounds := STRPartition(got, 5, workers)
+		if len(gotBounds) != len(refBounds) {
+			t.Fatalf("workers=%d: %d parts, want %d", workers, len(gotBounds), len(refBounds))
+		}
+		for i := range refBounds {
+			if gotBounds[i] != refBounds[i] {
+				t.Fatalf("workers=%d: bounds[%d] = %v, want %v", workers, i, gotBounds[i], refBounds[i])
+			}
+		}
+		for i := range ref {
+			if got[i].Ref != ref[i].Ref || !got[i].Rect.Equal(ref[i].Rect) {
+				t.Fatalf("workers=%d: entry %d differs from sequential order", workers, i)
+			}
+		}
+	}
+}
+
+// TestSTRPartitionPreservesEntries verifies the partition is a
+// permutation: every input entry appears exactly once in the output.
+func TestSTRPartitionPreservesEntries(t *testing.T) {
+	entries := partitionEntries(997, 7) // prime count: ragged last part
+	STRPartition(entries, 6, 0)
+	seen := make(map[uint64]bool, len(entries))
+	for _, e := range entries {
+		if seen[e.Ref] {
+			t.Fatalf("entry %d duplicated by partition", e.Ref)
+		}
+		seen[e.Ref] = true
+	}
+	if len(seen) != 997 {
+		t.Fatalf("partition kept %d distinct entries, want 997", len(seen))
+	}
+}

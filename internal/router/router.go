@@ -1,0 +1,683 @@
+// Package router is strrouter's fan-out proxy: it speaks the strserve
+// wire protocol on both sides, multiplying one query endpoint across a
+// fleet of shard backends. The shard map (internal/router/shardmap) is
+// the STR paper's tiling applied at dataset scale: because each shard's
+// MBR is a tight STR slab, a window or point query fans out only to the
+// shards it overlaps — the same pruning argument that makes an STR-packed
+// node hierarchy cheap makes the fan-out narrow.
+//
+// The router is production-shaped, mirroring internal/server:
+//
+//   - admission control and per-request deadlines on the front;
+//   - scatter-gather on the back over pooled protocol clients with
+//     bounded per-backend concurrency and transport timeouts, so a hung
+//     backend costs bounded time, never a parked goroutine;
+//   - per-backend health: consecutive transport failures eject a backend
+//     from rotation, a probe loop re-admits it when it answers again,
+//     and idempotent reads get one retry on another replica;
+//   - deterministic merges: concatenation in shard-manifest order, kNN
+//     k-way merge by (distance, ID), field-wise stats aggregation;
+//   - a shard with no healthy replica answers StatusUnavailable in-band
+//     — fast, never a hang;
+//   - observability (admin.go) and graceful drain, like the backends.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strtree/internal/histo"
+	"strtree/internal/obs"
+	"strtree/internal/router/shardmap"
+	"strtree/internal/server"
+	"strtree/internal/server/wire"
+)
+
+// Config tunes a Router. Map is required; everything else has sane
+// defaults.
+type Config struct {
+	// Map is the shard map: every shard must list at least one address.
+	Map *shardmap.Map
+	// MaxInFlight caps concurrently executing client requests — the
+	// front-side admission semaphore. 0 means 64.
+	MaxInFlight int
+	// DefaultTimeout applies to requests carrying no deadline. 0 means 5s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines. 0 means 60s.
+	MaxTimeout time.Duration
+	// BackendConcurrency is each backend's client-pool size: the most
+	// requests in flight to one backend at once. 0 means 4.
+	BackendConcurrency int
+	// FailureThreshold is the consecutive transport failures that eject a
+	// backend from rotation. 0 means 3.
+	FailureThreshold int
+	// ProbeInterval is how often ejected backends are re-probed. 0 means 2s.
+	ProbeInterval time.Duration
+	// DialTimeout caps backend connection establishment. 0 means 2s.
+	DialTimeout time.Duration
+	// IOTimeout caps one backend round trip's socket reads and writes.
+	// 0 means MaxTimeout plus five seconds, so the transport guard sits
+	// safely above any in-band deadline.
+	IOTimeout time.Duration
+	// Logf, when non-nil, receives one line per router-side failure.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.BackendConcurrency <= 0 {
+		c.BackendConcurrency = 4
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = c.MaxTimeout + 5*time.Second
+	}
+	return c
+}
+
+// Router fans client requests out to shard backends and merges the
+// answers. Create with New, run with Serve, stop with Shutdown. All
+// exported methods are safe for concurrent use.
+type Router struct {
+	cfg Config
+	m   *shardmap.Map
+
+	// replicas[shard] lists the shard's backends in address order of the
+	// manifest (first preferred); backends is the same set deduplicated
+	// by address, in first-appearance order, for probing and stats.
+	replicas [][]*backend
+	backends []*backend
+
+	// sem is the front-side admission semaphore.
+	sem chan struct{}
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener          // guarded by mu
+	conns    map[net.Conn]struct{} // guarded by mu
+	draining bool                  // guarded by mu
+
+	reqWG     sync.WaitGroup // admitted requests (through response write)
+	connWG    sync.WaitGroup // connection handler goroutines
+	scatterWG sync.WaitGroup // scatter goroutines (may outlive their request)
+	probeDone chan struct{}  // closed when the probe loop exits
+
+	inFlight    atomic.Int64
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	completed   atomic.Uint64
+	timedOut    atomic.Uint64
+	failed      atomic.Uint64
+	unavailable atomic.Uint64
+	retriesTot  atomic.Uint64
+
+	notReady atomic.Bool
+
+	latAll   histo.Histogram // front-side request latency
+	mergeLat histo.Histogram // merge step alone
+	// fanWidth records each request's fan-out width (shards contacted),
+	// encoded as whole seconds so the exposition's second-valued summary
+	// reads directly in shards: a 3.0 quantile means 3 shards.
+	fanWidth histo.Histogram
+
+	reg *obs.Registry
+}
+
+// New builds a router over a validated shard map. Every shard must carry
+// at least one backend address.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Map == nil {
+		return nil, errors.New("router: no shard map")
+	}
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	//strlint:ignore ctxprop the router owns its lifecycle root context; Shutdown cancels it
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Router{
+		cfg:        cfg,
+		m:          cfg.Map,
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		conns:      map[net.Conn]struct{}{},
+		probeDone:  make(chan struct{}),
+	}
+	byAddr := map[string]*backend{}
+	r.replicas = make([][]*backend, len(r.m.Shards))
+	for i, s := range r.m.Shards {
+		if len(s.Addrs) == 0 {
+			cancel()
+			return nil, fmt.Errorf("router: shard %d has no backend address", i)
+		}
+		for _, addr := range s.Addrs {
+			b, ok := byAddr[addr]
+			if !ok {
+				b = newBackend(addr, cfg.BackendConcurrency, cfg.DialTimeout, cfg.IOTimeout)
+				byAddr[addr] = b
+				r.backends = append(r.backends, b)
+			}
+			r.replicas[i] = append(r.replicas[i], b)
+		}
+	}
+	r.reg = r.buildRegistry()
+	//strlint:ignore waitpair probeLoop closes r.probeDone on exit; Shutdown waits on it
+	go r.probeLoop()
+	return r, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// probeLoop periodically re-probes ejected backends with a stats ping
+// and restores the ones that answer. It exits when Shutdown cancels the
+// router's base context.
+func (r *Router) probeLoop() {
+	defer close(r.probeDone)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		for _, b := range r.backends {
+			if b.healthy() {
+				continue
+			}
+			probeMs := uint32(r.cfg.DialTimeout / time.Millisecond)
+			if probeMs == 0 {
+				probeMs = 1
+			}
+			resp, err := b.probe.Do(&wire.Request{Op: wire.OpStats, TimeoutMillis: probeMs})
+			if err != nil || resp.Status != wire.StatusOK {
+				continue
+			}
+			b.noteSuccess()
+			r.logf("strrouter: backend %s restored", b.addr)
+		}
+	}
+}
+
+// ErrAlreadyServing is returned by a second Serve call.
+var ErrAlreadyServing = errors.New("router: already serving")
+
+// Serve accepts client connections on ln until Shutdown. It blocks,
+// returning nil after a drain-initiated stop or the first fatal accept
+// error otherwise. The router takes ownership of ln.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.ln != nil {
+		r.mu.Unlock()
+		return ErrAlreadyServing
+	}
+	if r.draining {
+		r.mu.Unlock()
+		_ = ln.Close()
+		return nil
+	}
+	r.ln = ln
+	r.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.Draining() {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			r.logf("strrouter: accept: %v", err)
+			return err
+		}
+		r.mu.Lock()
+		if r.draining {
+			r.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		r.conns[conn] = struct{}{}
+		r.connWG.Add(1)
+		r.mu.Unlock()
+		go r.handleConn(conn)
+	}
+}
+
+// Addr returns the listener's address, or nil before Serve.
+func (r *Router) Addr() net.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ln == nil {
+		return nil
+	}
+	return r.ln.Addr()
+}
+
+// Draining reports whether Shutdown has begun.
+func (r *Router) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// MarkNotReady flips the admin /healthz endpoint to 503 without starting
+// the drain, mirroring the backend server's readiness sequence.
+func (r *Router) MarkNotReady() { r.notReady.Store(true) }
+
+// Ready reports whether the admin health endpoint should answer 200.
+func (r *Router) Ready() bool { return !r.notReady.Load() && !r.Draining() }
+
+// BackendStats snapshots every backend's health and counters, in the
+// manifest's first-appearance address order.
+func (r *Router) BackendStats() []BackendStats {
+	out := make([]BackendStats, len(r.backends))
+	for i, b := range r.backends {
+		out[i] = b.stats()
+	}
+	return out
+}
+
+// handleConn serves one client connection, frames answered in order.
+func (r *Router) handleConn(conn net.Conn) {
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+		_ = conn.Close()
+		r.connWG.Done()
+	}()
+	h := server.NewConnIO(conn)
+	var inBuf []byte
+	for {
+		payload, err := h.ReadFrame(inBuf)
+		if err != nil {
+			return
+		}
+		inBuf = payload
+		if !r.serveOne(h, payload) {
+			return
+		}
+	}
+}
+
+// serveOne parses, admits, fans out and answers one request, returning
+// whether the connection should stay open.
+func (r *Router) serveOne(h *server.ConnIO, payload []byte) bool {
+	req, err := wire.ParseRequest(payload)
+	if err != nil {
+		_ = h.WriteResponse(&wire.Response{
+			Status: wire.StatusBadRequest,
+			Op:     wire.OpSearch,
+			Err:    err.Error(),
+		})
+		return false
+	}
+	if err := r.checkDims(req); err != nil {
+		// Wrong dimensionality is a client error the backends would each
+		// reject; answer once here and keep the connection (the frame
+		// itself was well-formed).
+		return h.WriteResponse(&wire.Response{
+			Status: wire.StatusBadRequest,
+			Op:     req.Op,
+			Err:    err.Error(),
+		})
+	}
+
+	release, status := r.admit()
+	if status != wire.StatusOK {
+		ok := h.WriteResponse(&wire.Response{Status: status, Op: req.Op, Err: status.String()})
+		return ok && status == wire.StatusOverloaded
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.baseCtx, r.timeoutFor(req))
+	start := time.Now()
+	resp := r.fanout(ctx, req)
+	cancel()
+	r.latAll.Observe(time.Since(start))
+
+	switch resp.Status {
+	case wire.StatusOK:
+		r.completed.Add(1)
+	case wire.StatusDeadline:
+		r.timedOut.Add(1)
+	case wire.StatusUnavailable:
+		r.unavailable.Add(1)
+	default:
+		r.failed.Add(1)
+		r.logf("strrouter: %v request failed: %s", req.Op, resp.Err)
+	}
+	return h.WriteResponse(resp)
+}
+
+// checkDims rejects geometry whose dimensionality does not match the
+// shard map's before any backend sees it.
+func (r *Router) checkDims(req *wire.Request) error {
+	bad := func(d int) error {
+		return fmt.Errorf("router: %d-d geometry against a %d-d shard map", d, r.m.Dims)
+	}
+	switch req.Op {
+	case wire.OpSearch, wire.OpCount:
+		if req.Query.Dim() != r.m.Dims {
+			return bad(req.Query.Dim())
+		}
+	case wire.OpSearchPoint, wire.OpNearest:
+		if len(req.Point) != r.m.Dims {
+			return bad(len(req.Point))
+		}
+	case wire.OpBatch:
+		for _, q := range req.Batch {
+			if q.Dim() != r.m.Dims {
+				return bad(q.Dim())
+			}
+		}
+	}
+	return nil
+}
+
+// admit applies front-side admission control, mirroring the backend
+// server's semantics.
+func (r *Router) admit() (release func(), status wire.Status) {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return nil, wire.StatusDraining
+	}
+	select {
+	case r.sem <- struct{}{}:
+		r.reqWG.Add(1)
+		r.mu.Unlock()
+		r.inFlight.Add(1)
+		r.accepted.Add(1)
+		return func() {
+			<-r.sem
+			r.inFlight.Add(-1)
+			r.reqWG.Done()
+		}, wire.StatusOK
+	default:
+		r.mu.Unlock()
+		r.rejected.Add(1)
+		return nil, wire.StatusOverloaded
+	}
+}
+
+// timeoutFor resolves a request's deadline: its own if set, else the
+// default, never above the maximum.
+func (r *Router) timeoutFor(req *wire.Request) time.Duration {
+	d := r.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		d = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if d > r.cfg.MaxTimeout {
+		d = r.cfg.MaxTimeout
+	}
+	return d
+}
+
+// targetsFor prunes the fan-out: the shards a request must visit, in
+// manifest order. Window and count queries visit shards overlapping the
+// window, point queries shards containing the point, batches the union
+// of their windows' overlaps; nearest-neighbor and stats broadcast
+// (distance to the true k-th neighbor is unknowable in advance).
+func (r *Router) targetsFor(req *wire.Request) []int {
+	switch req.Op {
+	case wire.OpSearch, wire.OpCount:
+		return r.m.OverlapRect(req.Query)
+	case wire.OpSearchPoint:
+		return r.m.OverlapPoint(req.Point)
+	case wire.OpBatch:
+		out := make([]int, 0, len(r.m.Shards))
+		for _, id := range r.m.All() {
+			mbr := r.m.Shards[id].MBR.Rect()
+			for _, q := range req.Batch {
+				if mbr.Intersects(q) {
+					out = append(out, id)
+					break
+				}
+			}
+		}
+		return out
+	default: // OpNearest, OpStats
+		return r.m.All()
+	}
+}
+
+// fanout scatters one admitted request to its target shards, gathers,
+// and merges. The gather respects ctx: a deadline that expires with
+// shard calls still in flight answers StatusDeadline immediately while
+// the stragglers unwind on their own transport bounds.
+func (r *Router) fanout(ctx context.Context, req *wire.Request) *wire.Response {
+	targets := r.targetsFor(req)
+	r.fanWidth.Observe(time.Duration(len(targets)) * time.Second)
+	if len(targets) == 0 {
+		// Nothing overlaps: the answer is trivially empty.
+		return emptyResponse(req)
+	}
+
+	// Propagate the remaining budget to the backends in-band, so their
+	// own deadline enforcement lines up with ours.
+	sub := *req
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl) / time.Millisecond
+		if ms < 1 {
+			ms = 1
+		}
+		sub.TimeoutMillis = uint32(ms)
+	}
+
+	results := make([]*wire.Response, len(targets))
+	done := make(chan struct{}, len(targets))
+	for i, sid := range targets {
+		r.scatterWG.Add(1)
+		go func(i, sid int) {
+			defer r.scatterWG.Done()
+			results[i] = r.shardCall(ctx, sid, sub)
+			done <- struct{}{}
+		}(i, sid)
+	}
+	for range targets {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return &wire.Response{Status: wire.StatusDeadline, Op: req.Op, Err: ctx.Err().Error()}
+		}
+	}
+
+	t0 := time.Now()
+	resp := mergeResponses(req, results, int(req.K))
+	r.mergeLat.Observe(time.Since(t0))
+	return resp
+}
+
+// emptyResponse is the answer when no shard overlaps the query.
+func emptyResponse(req *wire.Request) *wire.Response {
+	resp := &wire.Response{Status: wire.StatusOK, Op: req.Op}
+	if req.Op == wire.OpBatch {
+		resp.Batch = make([][]wire.Item, len(req.Batch))
+	}
+	return resp
+}
+
+// shardCall executes one shard's part of a request: the first healthy
+// replica, with one retry on the next healthy replica after a transport
+// failure or draining answer (every protocol op is an idempotent read,
+// so the retry is always safe). No healthy replica left means an in-band
+// StatusUnavailable — fast-fail, never a hang.
+func (r *Router) shardCall(ctx context.Context, shardID int, req wire.Request) *wire.Response {
+	attempts := 0
+	for _, b := range r.replicas[shardID] {
+		if !b.healthy() {
+			continue
+		}
+		if attempts > 0 {
+			b.retries.Add(1)
+			r.retriesTot.Add(1)
+		}
+		resp, retryable := r.tryBackend(ctx, b, &req)
+		if resp != nil {
+			return resp
+		}
+		if !retryable {
+			break
+		}
+		attempts++
+		if attempts > 1 {
+			break // one retry only
+		}
+	}
+	return &wire.Response{
+		Status: wire.StatusUnavailable,
+		Op:     req.Op,
+		Err:    fmt.Sprintf("shard %d: no healthy replica", shardID),
+	}
+}
+
+// tryBackend runs one round trip against one backend. It returns a
+// response to forward, or nil with retryable=true when the attempt
+// failed in a way another replica might answer (transport failure,
+// draining backend). A deadline expiring while waiting for a pool slot
+// returns the deadline response directly.
+func (r *Router) tryBackend(ctx context.Context, b *backend, req *wire.Request) (resp *wire.Response, retryable bool) {
+	var cl *server.Client
+	select {
+	case cl = <-b.pool:
+	case <-ctx.Done():
+		return &wire.Response{Status: wire.StatusDeadline, Op: req.Op, Err: ctx.Err().Error()}, false
+	}
+	b.requests.Add(1)
+	out, err := cl.Do(req)
+	b.pool <- cl
+	if err != nil {
+		b.errors.Add(1)
+		if b.noteFailure(r.cfg.FailureThreshold) {
+			r.logf("strrouter: backend %s ejected after %d consecutive failures: %v",
+				b.addr, r.cfg.FailureThreshold, err)
+		}
+		return nil, true
+	}
+	if out.Status == wire.StatusDraining {
+		// A draining backend is going away on purpose; treat like a
+		// transport failure so traffic shifts to replicas and the probe
+		// loop notices when (if) it returns.
+		b.errors.Add(1)
+		if b.noteFailure(r.cfg.FailureThreshold) {
+			r.logf("strrouter: backend %s ejected: draining", b.addr)
+		}
+		return nil, true
+	}
+	// Any other in-band answer — OK or a refusal — proves the backend
+	// alive and is the shard's answer.
+	b.noteSuccess()
+	return out, false
+}
+
+// Shutdown drains the router: it stops accepting connections, refuses
+// new requests with StatusDraining, waits for in-flight requests to
+// finish writing their responses, stops the probe loop, then closes
+// every connection and backend client. If ctx expires first, outstanding
+// fan-outs are cancelled and ctx's error is returned.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return errors.New("router: already shut down")
+	}
+	r.draining = true
+	ln := r.ln
+	r.mu.Unlock()
+	r.notReady.Store(true)
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		r.reqWG.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		r.cancelBase()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			r.logf("strrouter: drain deadline passed with requests still running")
+		}
+	}
+
+	r.mu.Lock()
+	for c := range r.conns {
+		_ = c.Close()
+	}
+	r.mu.Unlock()
+
+	if drainErr == nil {
+		r.connWG.Wait()
+	} else {
+		handlers := make(chan struct{})
+		go func() {
+			r.connWG.Wait()
+			close(handlers)
+		}()
+		select {
+		case <-handlers:
+		case <-time.After(time.Second):
+			r.logf("strrouter: handlers still running after forced drain")
+		}
+	}
+	r.cancelBase()
+	<-r.probeDone
+
+	// Scatter goroutines outliving their request (a deadline answered
+	// early) are bounded by the transport timeouts; wait them out so the
+	// backend pools are quiescent before closing their connections.
+	scatter := make(chan struct{})
+	go func() {
+		r.scatterWG.Wait()
+		close(scatter)
+	}()
+	select {
+	case <-scatter:
+		for _, b := range r.backends {
+			b.close()
+		}
+	case <-time.After(5 * time.Second):
+		r.logf("strrouter: scatter goroutines still running; leaving backend connections to the OS")
+	}
+	return drainErr
+}

@@ -25,6 +25,9 @@ var (
 	ErrDeadline = errors.New("strserve: deadline exceeded")
 	// ErrBadRequest means the server rejected the request as malformed.
 	ErrBadRequest = errors.New("strserve: bad request")
+	// ErrUnavailable means a backend the request needed is down — the
+	// router's in-band answer when a shard has no healthy replica.
+	ErrUnavailable = errors.New("strserve: backend unavailable")
 )
 
 // Client speaks the wire protocol to one strserve server over a single
@@ -41,8 +44,15 @@ type Client struct {
 	// guarded by mu. Per-request deadline sent to the server; 0 = server
 	// default.
 	timeout time.Duration
-	inBuf   []byte // guarded by mu
-	outBuf  []byte // guarded by mu
+	// guarded by mu. Transport-level bounds: dialTimeout caps connection
+	// establishment, ioTimeout caps one request's socket reads and writes
+	// (a deadline set at the start of each round trip). 0 disables either.
+	// The router sets both so a hung backend costs bounded time instead of
+	// parking a scatter goroutine forever.
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	inBuf       []byte // guarded by mu
+	outBuf      []byte // guarded by mu
 }
 
 // Dial creates a client for the server at addr. The connection is
@@ -56,6 +66,18 @@ func Dial(addr string) *Client {
 func (c *Client) SetRequestTimeout(d time.Duration) {
 	c.mu.Lock()
 	c.timeout = d
+	c.mu.Unlock()
+}
+
+// SetTransportTimeouts bounds the client's socket operations: dial caps
+// connection establishment, io caps each round trip's reads and writes.
+// Zero disables either bound. These are transport-level guards against a
+// peer that stops responding; the in-band request deadline
+// (SetRequestTimeout) remains the server-side budget.
+func (c *Client) SetTransportTimeouts(dial, io time.Duration) {
+	c.mu.Lock()
+	c.dialTimeout = dial
+	c.ioTimeout = io
 	c.mu.Unlock()
 }
 
@@ -81,7 +103,7 @@ func (c *Client) connectLocked() error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout) // 0 = no limit
 	if err != nil {
 		return err
 	}
@@ -90,12 +112,13 @@ func (c *Client) connectLocked() error {
 	return nil
 }
 
-// roundTrip sends one request and decodes the response, holding the
-// connection for the duration. Transport errors drop the connection so
-// the next call redials; in-band refusals keep it per the protocol
-// (overloaded keeps the connection, draining and bad-request close it
-// server-side, so those drop too).
-func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+// Do sends one request and returns the decoded response, including
+// in-band refusals (non-OK statuses) as responses rather than errors —
+// the raw exchange the fan-out router forwards. A transport or protocol
+// failure returns an error and drops the connection so the next call
+// redials; per the protocol, draining and bad-request answers also drop
+// it (the server closes its side after those).
+func (c *Client) Do(req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if req.TimeoutMillis == 0 && c.timeout > 0 {
@@ -111,6 +134,12 @@ func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
 	c.outBuf = payload
 	if err := c.connectLocked(); err != nil {
 		return nil, err
+	}
+	if c.ioTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.ioTimeout)); err != nil {
+			_ = c.dropLocked()
+			return nil, err
+		}
 	}
 	if err := wire.WriteFrame(c.conn, payload); err != nil {
 		_ = c.dropLocked()
@@ -131,10 +160,20 @@ func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
 		_ = c.dropLocked()
 		return nil, fmt.Errorf("strserve: response op %v for %v request", resp.Op, req.Op)
 	}
+	if resp.Status == wire.StatusDraining || resp.Status == wire.StatusBadRequest {
+		_ = c.dropLocked()
+	}
+	return resp, nil
+}
+
+// roundTrip is Do plus the mapping of non-OK statuses to sentinel
+// errors — the convenience the typed client methods build on.
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
 	if serr := statusErr(resp); serr != nil {
-		if resp.Status == wire.StatusDraining || resp.Status == wire.StatusBadRequest {
-			_ = c.dropLocked()
-		}
 		return nil, serr
 	}
 	return resp, nil
@@ -153,6 +192,8 @@ func statusErr(resp *wire.Response) error {
 		return ErrDeadline
 	case wire.StatusBadRequest:
 		return fmt.Errorf("%w: %s", ErrBadRequest, resp.Err)
+	case wire.StatusUnavailable:
+		return fmt.Errorf("%w: %s", ErrUnavailable, resp.Err)
 	default:
 		return fmt.Errorf("strserve: server error: %s", resp.Err)
 	}

@@ -1,0 +1,53 @@
+package server
+
+// ConnIO is the server side of one protocol connection: buffered framed
+// reads and encoded, flushed response writes with a reusable output
+// buffer. It is the piece of the serving loop the fan-out router shares
+// — the router speaks the same protocol to its clients, so it frames and
+// answers exactly the way a backend does.
+
+import (
+	"bufio"
+	"net"
+
+	"strtree/internal/server/wire"
+)
+
+// ConnIO wraps one accepted connection's framing. Not safe for
+// concurrent use: the protocol is strictly request/response per
+// connection, so a single goroutine owns it.
+type ConnIO struct {
+	bw     *bufio.Writer
+	br     *bufio.Reader
+	outBuf []byte
+	// Logf, when non-nil, receives one line per encode failure (a
+	// response that cannot be encoded is a server bug worth logging).
+	Logf func(format string, args ...any)
+}
+
+// NewConnIO wraps an accepted connection.
+func NewConnIO(conn net.Conn) *ConnIO {
+	return &ConnIO{br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// ReadFrame reads one request frame, reusing buf when it fits.
+func (h *ConnIO) ReadFrame(buf []byte) ([]byte, error) {
+	return wire.ReadFrame(h.br, buf)
+}
+
+// WriteResponse encodes and flushes one response frame, reporting
+// whether the connection is still healthy.
+func (h *ConnIO) WriteResponse(resp *wire.Response) bool {
+	out, err := wire.AppendResponse(h.outBuf[:0], resp)
+	if err != nil {
+		if h.Logf != nil {
+			h.Logf("encode response: %v", err)
+		}
+		return false
+	}
+	h.outBuf = out
+	if err := wire.WriteFrame(h.bw, out); err != nil {
+		return false
+	}
+	return h.bw.Flush() == nil
+}

@@ -26,9 +26,9 @@
 package server
 
 import (
-	"bufio"
 	"context"
 	"errors"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -62,6 +62,12 @@ type Config struct {
 	// op, duration and result count, and increments the slow-query
 	// counter. 0 disables the log.
 	SlowQueryThreshold time.Duration
+	// SlowLogJSON, when non-nil, additionally writes each slow query as
+	// one self-contained JSON object (op, geometry, k, duration, results,
+	// status) to this writer — the structured capture `strbench -replay`
+	// re-executes. Writes are serialized; the writer need not be
+	// concurrency-safe. Requires SlowQueryThreshold > 0 to fire.
+	SlowLogJSON io.Writer
 	// Logf, when non-nil, receives one line per server-side failure
 	// (internal errors, accept errors) and per slow query. nil disables
 	// logging.
@@ -132,6 +138,9 @@ type Server struct {
 	// reg is the admin endpoint's metrics registry, built once in New;
 	// its series sample the atomics above at scrape time.
 	reg *obs.Registry
+
+	// slowLog, when non-nil, receives one JSON record per slow query.
+	slowLog *slowLogger
 }
 
 // New builds a server over an opened tree. The server does not own the
@@ -149,6 +158,9 @@ func New(tree *strtree.Tree, cfg Config) *Server {
 		conns:      map[net.Conn]struct{}{},
 	}
 	s.reg = s.buildRegistry()
+	if cfg.SlowLogJSON != nil {
+		s.slowLog = &slowLogger{w: cfg.SlowLogJSON}
+	}
 	return s
 }
 
@@ -246,12 +258,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		_ = conn.Close()
 		s.connWG.Done()
 	}()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
-	h := &connHandler{srv: s, bw: bw}
+	h := &connHandler{srv: s, io: NewConnIO(conn)}
+	h.io.Logf = func(format string, args ...any) {
+		s.logf("strserve: "+format, args...)
+	}
 	var inBuf []byte
 	for {
-		payload, err := wire.ReadFrame(br, inBuf)
+		payload, err := h.io.ReadFrame(inBuf)
 		if err != nil {
 			// EOF: client went away (or drain closed the socket). Either
 			// way the conversation is over; nothing to answer.
@@ -264,29 +277,18 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// connHandler carries one connection's write side and reusable encode
-// buffer through its requests.
+// connHandler carries one connection's framing through its requests.
 type connHandler struct {
-	srv    *Server
-	bw     *bufio.Writer
-	outBuf []byte
+	srv *Server
+	io  *ConnIO
 }
 
-// writeResp encodes and flushes one response frame, reporting whether
-// the connection is still healthy. For admitted requests it runs before
-// the request slot is released, so a clean drain never closes a
-// connection with a response still unwritten.
+// writeResp writes one response frame, reporting whether the connection
+// is still healthy. For admitted requests it runs before the request
+// slot is released, so a clean drain never closes a connection with a
+// response still unwritten.
 func (h *connHandler) writeResp(resp *wire.Response) bool {
-	out, err := wire.AppendResponse(h.outBuf[:0], resp)
-	if err != nil {
-		h.srv.logf("strserve: encode response: %v", err)
-		return false
-	}
-	h.outBuf = out
-	if err := wire.WriteFrame(h.bw, out); err != nil {
-		return false
-	}
-	return h.bw.Flush() == nil
+	return h.io.WriteResponse(resp)
 }
 
 // serveOne parses, admits, executes and answers one request, returning
@@ -345,6 +347,9 @@ func (h *connHandler) serveOne(payload []byte) (keep bool) {
 		s.slow.Add(1)
 		s.logf("strserve: slow query: op=%v dur=%v results=%d status=%v",
 			req.Op, elapsed, resultCount(resp), resp.Status)
+		if s.slowLog != nil {
+			s.slowLog.log(s, slowRecord(req, resp, elapsed))
+		}
 	}
 	return h.writeResp(resp)
 }

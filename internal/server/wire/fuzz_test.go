@@ -37,6 +37,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		{Op: OpStats, Stats: Stats{Accepted: 10, Latency: Summary{Count: 10, P99: 500}}},
 		{Op: OpSearch, Status: StatusOverloaded, Err: "in-flight cap reached"},
 		{Op: OpCount, Status: StatusDeadline, Err: "deadline exceeded"},
+		{Op: OpNearest, Status: StatusUnavailable, Err: "shard 1 unavailable"},
 	} {
 		enc, err := AppendResponse(nil, resp)
 		if err != nil {

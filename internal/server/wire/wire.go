@@ -101,13 +101,18 @@ type Status uint8
 // Response statuses. Only StatusOK carries a result body; the rest carry
 // an error string.
 const (
-	StatusOK         Status = 0 // request served
-	StatusOverloaded Status = 1 // admission control rejected: in-flight cap hit
-	StatusDraining   Status = 2 // server is shutting down, not accepting work
-	StatusDeadline   Status = 3 // per-request deadline expired mid-query
-	StatusBadRequest Status = 4 // malformed or out-of-bounds request
-	StatusInternal   Status = 5 // query execution failed server-side
+	StatusOK          Status = 0 // request served
+	StatusOverloaded  Status = 1 // admission control rejected: in-flight cap hit
+	StatusDraining    Status = 2 // server is shutting down, not accepting work
+	StatusDeadline    Status = 3 // per-request deadline expired mid-query
+	StatusBadRequest  Status = 4 // malformed or out-of-bounds request
+	StatusInternal    Status = 5 // query execution failed server-side
+	StatusUnavailable Status = 6 // a backend this request needs is down (router)
 )
+
+// maxStatus is the highest defined status; parse and encode both reject
+// anything above it.
+const maxStatus = StatusUnavailable
 
 // String returns the status's protocol name.
 func (s Status) String() string {
@@ -124,6 +129,8 @@ func (s Status) String() string {
 		return "bad request"
 	case StatusInternal:
 		return "internal error"
+	case StatusUnavailable:
+		return "unavailable"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -645,7 +652,7 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	if !resp.Op.valid() {
 		return nil, ErrBadOp
 	}
-	if resp.Status > StatusInternal {
+	if resp.Status > maxStatus {
 		return nil, ErrBadStatus
 	}
 	dst = append(dst, Version, uint8(resp.Status), uint8(resp.Op))
@@ -700,7 +707,7 @@ func ParseResponse(payload []byte) (*Response, error) {
 		return nil, ErrVersion
 	}
 	status := Status(r.u8())
-	if r.err == nil && status > StatusInternal {
+	if r.err == nil && status > maxStatus {
 		return nil, ErrBadStatus
 	}
 	op := Op(r.u8())

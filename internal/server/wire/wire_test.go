@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"strtree/internal/geom"
@@ -226,9 +227,43 @@ func TestOpAndStatusStrings(t *testing.T) {
 	if Op(99).String() != "op(99)" {
 		t.Errorf("unknown op name: %s", Op(99).String())
 	}
-	for st := StatusOK; st <= StatusInternal; st++ {
-		if st.String() == "" {
+	for st := StatusOK; st <= maxStatus; st++ {
+		if st.String() == "" || strings.HasPrefix(st.String(), "status(") {
 			t.Errorf("status %d has no name", st)
 		}
+	}
+	if Status(99).String() != "status(99)" {
+		t.Errorf("unknown status name: %s", Status(99).String())
+	}
+}
+
+// TestStatusUnavailableRoundTrip pins the router's backend-down status:
+// it parses, re-encodes byte-identically, and the next status byte up is
+// still rejected as unknown.
+func TestStatusUnavailableRoundTrip(t *testing.T) {
+	enc, err := AppendResponse(nil, &Response{
+		Op: OpSearch, Status: StatusUnavailable, Err: "shard 2 unavailable",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseResponse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusUnavailable || got.Err != "shard 2 unavailable" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	re, err := AppendResponse(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, enc) {
+		t.Fatalf("re-encode differs:\n in %x\nout %x", enc, re)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[1] = uint8(maxStatus) + 1
+	if _, err := ParseResponse(bad); !errors.Is(err, ErrBadStatus) {
+		t.Fatalf("status %d accepted: %v", maxStatus+1, err)
 	}
 }
