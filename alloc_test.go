@@ -1,0 +1,101 @@
+package strtree
+
+// Allocation-regression gate at the public API level: steady-state Search
+// and Count through the strtree wrappers must not allocate. The same gate
+// exists inside internal/rtree (TestSearchZeroAlloc there); this level
+// additionally catches regressions in the root wrappers — a closure that
+// starts escaping, a stats path that starts boxing — that the inner gate
+// cannot see.
+
+import (
+	"testing"
+)
+
+// zeroAllocTree builds a packed 2-d tree big enough to be multi-level,
+// with a buffer pool that holds every page, and runs one warm-up query so
+// the traverser pool and the buffer are both hot.
+func zeroAllocTree(tb testing.TB) *Tree {
+	tb.Helper()
+	tr, err := New(Options{Dims: 2, Capacity: 102, BufferPages: 512})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := tr.BulkLoad(randItems(20000, 1), PackSTR); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := tr.Count(R2(0, 0, 1, 1)); err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// searchAllocsPerRun measures allocations per warm Search and Count.
+func searchAllocsPerRun(tb testing.TB, tr *Tree) (searchAllocs, countAllocs float64) {
+	tb.Helper()
+	q := R2(0.3, 0.3, 0.6, 0.6)
+	found := 0
+	searchAllocs = testing.AllocsPerRun(50, func() {
+		found = 0
+		if err := tr.Search(q, func(Item) bool { found++; return true }); err != nil {
+			tb.Fatal(err)
+		}
+	})
+	if found == 0 {
+		tb.Fatal("query matched nothing; the gate exercised no emission path")
+	}
+	countAllocs = testing.AllocsPerRun(50, func() {
+		if _, err := tr.Count(q); err != nil {
+			tb.Fatal(err)
+		}
+	})
+	return searchAllocs, countAllocs
+}
+
+// TestSearchViewZeroAlloc enforces the acceptance criterion in CI ("View"
+// in the name places it in check.sh's root race list, where it skips:
+// allocation counts are meaningless under the race detector).
+func TestSearchViewZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	tr := zeroAllocTree(t)
+	defer func() {
+		if err := tr.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	searchAllocs, countAllocs := searchAllocsPerRun(t, tr)
+	if searchAllocs != 0 {
+		t.Errorf("warm Search allocated %.1f times per query, want 0", searchAllocs)
+	}
+	if countAllocs != 0 {
+		t.Errorf("warm Count allocated %.1f times per query, want 0", countAllocs)
+	}
+}
+
+// BenchmarkSearchZeroAlloc is the benchmark-suite guard: it fails outright
+// if a steady-state Search or Count allocates, so an allocation regression
+// breaks the bench job even when nobody inspects allocs/op columns.
+func BenchmarkSearchZeroAlloc(b *testing.B) {
+	tr := zeroAllocTree(b)
+	defer func() {
+		if err := tr.Close(); err != nil {
+			b.Error(err)
+		}
+	}()
+	if !raceEnabled {
+		if searchAllocs, countAllocs := searchAllocsPerRun(b, tr); searchAllocs != 0 || countAllocs != 0 {
+			b.Fatalf("steady-state allocations regressed: Search %.1f, Count %.1f allocs per query, want 0",
+				searchAllocs, countAllocs)
+		}
+	}
+	q := R2(0.3, 0.3, 0.6, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := tr.Search(q, func(Item) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

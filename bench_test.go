@@ -34,6 +34,7 @@ func benchCfg() experiments.Config {
 // benchExperiment runs one registered experiment per iteration.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	runner, ok := experiments.Lookup(id)
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
@@ -83,6 +84,7 @@ func accessesPerQuery(b *testing.B, entries []node.Entry, o rtree.Orderer, capac
 // repository's serpentine extension and the Y-sort control, on uniform
 // density-5 data with 1% region queries and a small buffer.
 func BenchmarkAblationPackers(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(20000, 5.0, 1)
 	qs := query.Regions(200, query.Extent1Pct, 2)
 	orders := []rtree.Orderer{
@@ -90,6 +92,7 @@ func BenchmarkAblationPackers(b *testing.B) {
 	}
 	for _, o := range orders {
 		b.Run(o.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var acc float64
 			for i := 0; i < b.N; i++ {
 				acc = accessesPerQuery(b, entries, o, 100, 10, qs)
@@ -102,6 +105,7 @@ func BenchmarkAblationPackers(b *testing.B) {
 // BenchmarkAblationSliceCount checks the paper's S = ceil(sqrt(P)) slice
 // choice against halved and doubled slice counts.
 func BenchmarkAblationSliceCount(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(20000, 5.0, 1)
 	qs := query.Regions(200, query.Extent1Pct, 2)
 	factors := []pack.SliceFactor{
@@ -109,6 +113,7 @@ func BenchmarkAblationSliceCount(b *testing.B) {
 	}
 	for _, f := range factors {
 		b.Run("S*"+strconv.Itoa(f.Num)+"/"+strconv.Itoa(f.Den), func(b *testing.B) {
+			b.ReportAllocs()
 			var acc float64
 			for i := 0; i < b.N; i++ {
 				acc = accessesPerQuery(b, entries, f, 100, 10, qs)
@@ -121,10 +126,12 @@ func BenchmarkAblationSliceCount(b *testing.B) {
 // BenchmarkAblationFanout varies node capacity (the paper fixes n = 100
 // and notes most R-trees use 25-100).
 func BenchmarkAblationFanout(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(20000, 5.0, 1)
 	qs := query.Regions(200, query.Extent1Pct, 2)
 	for _, capacity := range []int{25, 50, 100} {
 		b.Run(strconv.Itoa(capacity), func(b *testing.B) {
+			b.ReportAllocs()
 			var acc float64
 			for i := 0; i < b.N; i++ {
 				acc = accessesPerQuery(b, entries, pack.STR{}, capacity, 10, qs)
@@ -138,6 +145,7 @@ func BenchmarkAblationFanout(b *testing.B) {
 // levels resident — the policy the paper discusses and sets aside in
 // Section 3.
 func BenchmarkAblationPinning(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(20000, 5.0, 1)
 	qs := query.Regions(200, query.Extent1Pct, 2)
 	build := func(bufPages int) *rtree.Tree {
@@ -155,6 +163,7 @@ func BenchmarkAblationPinning(b *testing.B) {
 		return acc
 	}
 	b.Run("lru", func(b *testing.B) {
+		b.ReportAllocs()
 		tr := build(10)
 		var acc float64
 		for i := 0; i < b.N; i++ {
@@ -163,6 +172,7 @@ func BenchmarkAblationPinning(b *testing.B) {
 		b.ReportMetric(acc, "accesses/query")
 	})
 	b.Run("pin-internal", func(b *testing.B) {
+		b.ReportAllocs()
 		tr := build(10)
 		// Collect internal pages and pin them after the cold start.
 		var internal []storage.PageID
@@ -197,6 +207,7 @@ func BenchmarkAblationPinning(b *testing.B) {
 // BenchmarkPackedVsDynamic measures the paper's motivating comparison:
 // bulk loading versus Guttman insertion, on build time and query I/O.
 func BenchmarkPackedVsDynamic(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(10000, 5.0, 1)
 	items := make([]strtree.Item, len(entries))
 	for i, e := range entries {
@@ -205,6 +216,7 @@ func BenchmarkPackedVsDynamic(b *testing.B) {
 	qs := query.Regions(200, query.Extent1Pct, 2)
 
 	b.Run("build/packed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tree, err := strtree.New(strtree.Options{Capacity: 100})
 			if err != nil {
@@ -216,6 +228,7 @@ func BenchmarkPackedVsDynamic(b *testing.B) {
 		}
 	})
 	b.Run("build/dynamic", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tree, err := strtree.New(strtree.Options{Capacity: 100, BufferPages: 2048})
 			if err != nil {
@@ -246,6 +259,7 @@ func BenchmarkPackedVsDynamic(b *testing.B) {
 		b.ReportMetric(acc, "accesses/query")
 	}
 	b.Run("query/packed", func(b *testing.B) {
+		b.ReportAllocs()
 		tree, err := strtree.New(strtree.Options{Capacity: 100, BufferPages: 10})
 		if err != nil {
 			b.Fatal(err)
@@ -256,6 +270,7 @@ func BenchmarkPackedVsDynamic(b *testing.B) {
 		queryBench(b, tree)
 	})
 	b.Run("query/dynamic", func(b *testing.B) {
+		b.ReportAllocs()
 		tree, err := strtree.New(strtree.Options{Capacity: 100, BufferPages: 10})
 		if err != nil {
 			b.Fatal(err)
@@ -272,10 +287,12 @@ func BenchmarkPackedVsDynamic(b *testing.B) {
 // BenchmarkAblationSplits compares the dynamic split heuristics (linear,
 // quadratic, R*) on insert throughput and resulting query cost.
 func BenchmarkAblationSplits(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(5000, 5.0, 1)
 	qs := query.Regions(200, query.Extent1Pct, 2)
 	for _, split := range []rtree.SplitAlgorithm{rtree.SplitLinear, rtree.SplitQuadratic, rtree.SplitRStar} {
 		b.Run(split.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var acc float64
 			for i := 0; i < b.N; i++ {
 				pool := buffer.NewPool(storage.NewMemPager(4096), 4096)
@@ -301,10 +318,12 @@ func BenchmarkAblationSplits(b *testing.B) {
 // BenchmarkAblationReplacement compares LRU against its Clock
 // approximation at the paper's small-buffer operating point.
 func BenchmarkAblationReplacement(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(20000, 5.0, 1)
 	qs := query.Regions(200, query.Extent1Pct, 2)
 	for _, policy := range []buffer.Policy{buffer.LRU, buffer.Clock} {
 		b.Run(policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			pool := buffer.NewPoolWithPolicy(storage.NewMemPager(4096), 10, policy)
 			tr, err := rtree.Create(pool, rtree.Config{Dims: 2, Capacity: 100})
 			if err != nil {
@@ -330,12 +349,14 @@ func BenchmarkAblationReplacement(b *testing.B) {
 // BenchmarkExternalBulkLoad measures the bounded-memory STR build against
 // the in-memory build on the same input.
 func BenchmarkExternalBulkLoad(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(50000, 5.0, 1)
 	items := make([]strtree.Item, len(entries))
 	for i, e := range entries {
 		items[i] = strtree.Item{Rect: e.Rect, ID: e.Ref}
 	}
 	b.Run("in-memory", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tree, err := strtree.New(strtree.Options{Capacity: 100})
 			if err != nil {
@@ -347,6 +368,7 @@ func BenchmarkExternalBulkLoad(b *testing.B) {
 		}
 	})
 	b.Run("external", func(b *testing.B) {
+		b.ReportAllocs()
 		dir := b.TempDir()
 		for i := 0; i < b.N; i++ {
 			tree, err := strtree.New(strtree.Options{Capacity: 100})
@@ -381,6 +403,7 @@ func BenchmarkExtensions(b *testing.B) {
 // pipeline. Run with -cpu 1,4,8 to see worker scaling; the tree bytes are
 // identical at every width.
 func BenchmarkBuild(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(200000, 5.0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -403,6 +426,7 @@ func BenchmarkBuild(b *testing.B) {
 // run generation and spilling, merge read-ahead, and write-behind leaves.
 // Run with -cpu 1,4,8.
 func BenchmarkBuildExternal(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(100000, 5.0, 1)
 	items := make([]strtree.Item, len(entries))
 	for i, e := range entries {
@@ -434,9 +458,11 @@ func BenchmarkBuildExternal(b *testing.B) {
 // BenchmarkParallelSTR measures the goroutine-parallel STR sort, the
 // parallel direction the paper's conclusion proposes.
 func BenchmarkParallelSTR(b *testing.B) {
+	b.ReportAllocs()
 	entries := datagen.UniformSquares(200000, 5.0, 1)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
 			work := make([]node.Entry, len(entries))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -482,9 +508,11 @@ func concurrentBenchTree(b *testing.B, shards int, qs []strtree.Rect) *strtree.T
 // offset so concurrent workers touch different subtrees, like independent
 // clients would.
 func BenchmarkConcurrentQuery(b *testing.B) {
+	b.ReportAllocs()
 	qs := query.Regions(512, query.Extent1Pct, 2)
 	for _, shards := range []int{1, 8, 32} {
 		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			b.ReportAllocs()
 			tree := concurrentBenchTree(b, shards, qs)
 			var next atomic.Int64
 			b.ResetTimer()
@@ -510,9 +538,11 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 // op is a 256-query batch fanned across GOMAXPROCS workers. Run with
 // -cpu 1,4,8.
 func BenchmarkConcurrentQueryBatch(b *testing.B) {
+	b.ReportAllocs()
 	qs := query.Regions(256, query.Extent1Pct, 3)
 	for _, shards := range []int{1, 16} {
 		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			b.ReportAllocs()
 			tree := concurrentBenchTree(b, shards, qs)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -526,6 +556,7 @@ func BenchmarkConcurrentQueryBatch(b *testing.B) {
 
 // BenchmarkSTR3D exercises the k > 2 generalization of Section 2.2.
 func BenchmarkSTR3D(b *testing.B) {
+	b.ReportAllocs()
 	rngEntries := make([]node.Entry, 0, 50000)
 	base := datagen.UniformPoints(50000, 1)
 	// Lift 2-D points into 3-D with a z coordinate derived from the index.

@@ -25,7 +25,9 @@
 #                     engine (parallel per-package driver), the fan-out
 #                     router (scatter-gather, health probing, drain), and
 #                     the root package's concurrent Search/SearchBatch
-#                     tests
+#                     tests. The zero-alloc gates (…View…) run here for
+#                     their traversal coverage but skip their allocation
+#                     assertions: race instrumentation allocates.
 #
 # The script is plain POSIX sh with no interactive steps, so CI runs it
 # verbatim (.github/workflows/ci.yml). It needs only a Go toolchain on

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -22,8 +24,38 @@ type concurrencyConfig struct {
 	Scale   float64 // fraction of the 100k-rectangle reference data set
 	Queries int     // queries per worker-count run
 	Seed    int64
-	Shards  int   // buffer shards (power of two)
-	Workers []int // worker counts to sweep
+	Shards  int    // buffer shards (power of two)
+	Workers []int  // worker counts to sweep
+	OutPath string // optional JSON artifact path ("" = table only)
+}
+
+// concurrencyRow is one worker count's measurements, both printed in the
+// table and serialized into the JSON artifact. AllocsPerQuery and
+// BytesPerQuery are process-wide runtime.MemStats deltas (Mallocs,
+// TotalAlloc — both monotonic, so GC cannot shrink them) divided by the
+// query count: the whole serving path's allocation cost per query, not
+// just the traversal's.
+type concurrencyRow struct {
+	Workers        int     `json:"workers"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	AccessesPerQry float64 `json:"accesses_per_query"`
+	P50Seconds     float64 `json:"p50_seconds"`
+	P95Seconds     float64 `json:"p95_seconds"`
+	P99Seconds     float64 `json:"p99_seconds"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+}
+
+// concurrencyArtifact is the JSON artifact schema for -concurrency-out.
+type concurrencyArtifact struct {
+	Rects       int              `json:"rects"`
+	BufferPages int              `json:"buffer_pages"`
+	Shards      int              `json:"shards"`
+	Queries     int              `json:"queries"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Rows        []concurrencyRow `json:"rows"`
 }
 
 // parseWorkers parses the -workers flag ("1,2,4,8").
@@ -45,7 +77,8 @@ func parseWorkers(s string) ([]int, error) {
 // runConcurrency builds one tree and sweeps the worker counts, printing a
 // throughput/scaling table. The buffer is dropped cold before each run so
 // every worker count faces the same steady-state mix; access counts come
-// from the sharded buffer's aggregated stats.
+// from the sharded buffer's aggregated stats, allocation counts from
+// runtime.MemStats deltas around the batch.
 func runConcurrency(w io.Writer, cfg concurrencyConfig) error {
 	size := int(100000 * cfg.Scale)
 	if size < 20000 {
@@ -76,15 +109,18 @@ func runConcurrency(w io.Writer, cfg concurrencyConfig) error {
 	fmt.Fprintf(w, "== concurrent query serving: %d rects, %d buffer pages, %d shards, %d queries, GOMAXPROCS=%d ==\n",
 		size, bufPages, cfg.Shards, len(qs), runtime.GOMAXPROCS(0))
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workers\telapsed\tqueries/s\tspeedup\taccesses/query\tp50\tp95\tp99")
+	fmt.Fprintln(tw, "workers\telapsed\tqueries/s\tspeedup\taccesses/query\tp50\tp95\tp99\tallocs/query\tB/query")
 	var base float64
 	var lat histo.Histogram
+	var rows []concurrencyRow
+	var msBefore, msAfter runtime.MemStats
 	for i, workers := range cfg.Workers {
 		if err := tree.DropCaches(); err != nil {
 			return err
 		}
 		tree.ResetStats()
 		lat.Reset()
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		_, err := tree.SearchBatchCountTimed(qs, workers, func(_ int, d time.Duration) {
 			lat.Observe(d)
@@ -93,22 +129,59 @@ func runConcurrency(w io.Writer, cfg concurrencyConfig) error {
 			return err
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
 		qps := float64(len(qs)) / elapsed.Seconds()
 		if i == 0 {
 			base = qps
 		}
 		acc := float64(tree.Stats().DiskReads) / float64(len(qs))
+		allocs := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(len(qs))
+		bytesPer := float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(len(qs))
 		sum := lat.Summarize()
-		fmt.Fprintf(tw, "%d\t%v\t%.0f\t%.2fx\t%.2f\t%v\t%v\t%v\n",
+		fmt.Fprintf(tw, "%d\t%v\t%.0f\t%.2fx\t%.2f\t%v\t%v\t%v\t%.1f\t%.0f\n",
 			workers, elapsed.Round(time.Microsecond), qps, qps/base, acc,
 			time.Duration(sum.P50).Round(time.Microsecond),
 			time.Duration(sum.P95).Round(time.Microsecond),
-			time.Duration(sum.P99).Round(time.Microsecond))
+			time.Duration(sum.P99).Round(time.Microsecond),
+			allocs, bytesPer)
+		rows = append(rows, concurrencyRow{
+			Workers:        workers,
+			ElapsedSeconds: elapsed.Seconds(),
+			QueriesPerSec:  qps,
+			Speedup:        qps / base,
+			AccessesPerQry: acc,
+			P50Seconds:     time.Duration(sum.P50).Seconds(),
+			P95Seconds:     time.Duration(sum.P95).Seconds(),
+			P99Seconds:     time.Duration(sum.P99).Seconds(),
+			AllocsPerQuery: allocs,
+			BytesPerQuery:  bytesPer,
+		})
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "   (speedup is relative to the first worker count; accesses/query from the aggregated shard stats;")
-	fmt.Fprintln(w, "    percentiles are per-query wall times from a log-bucketed histogram, <=12.5% relative error)")
+	fmt.Fprintln(w, "    percentiles are per-query wall times from a log-bucketed histogram, <=12.5% relative error;")
+	fmt.Fprintln(w, "    allocs/query and B/query are process-wide MemStats deltas over the batch, so they include")
+	fmt.Fprintln(w, "    executor and histogram overhead, not just the zero-copy traversal)")
+	if cfg.OutPath != "" {
+		art := concurrencyArtifact{
+			Rects:       size,
+			BufferPages: bufPages,
+			Shards:      cfg.Shards,
+			Queries:     len(qs),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Rows:        rows,
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(cfg.OutPath, data, 0o644); err != nil {
+			return fmt.Errorf("write concurrency artifact: %w", err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.OutPath)
+	}
 	return nil
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	strbench [-exp table2,fig9|all] [-scale 0.2] [-queries 500] [-full] [-seed 1]
-//	strbench -concurrency [-workers 1,2,4,8] [-shards 8] [-scale 0.2] [-queries 500]
+//	strbench -concurrency [-workers 1,2,4,8] [-shards 8] [-scale 0.2] [-queries 500] [-concurrency-out sweep.json]
 //	strbench -build [-n 1000000] [-extn 200000] [-runsize 65536] [-workers 1,2,4,8]
 //	strbench -ci BENCH_CI.json [-baseline BENCH_BASELINE.json]
 //	strbench -replay slow.jsonl -idx index.str [-buffer 256] [-k 10]
@@ -57,9 +57,10 @@ func main() {
 		trials  = flag.Int("trials", 1, "trials to average per experiment (different seeds)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 
-		concurrency = flag.Bool("concurrency", false, "run the concurrent query benchmark instead of the paper suite")
-		workers     = flag.String("workers", "1,2,4,8", "worker counts to sweep in -concurrency and -build modes (comma-separated)")
-		shards      = flag.Int("shards", 8, "buffer shards in -concurrency mode (power of two)")
+		concurrency    = flag.Bool("concurrency", false, "run the concurrent query benchmark instead of the paper suite")
+		workers        = flag.String("workers", "1,2,4,8", "worker counts to sweep in -concurrency and -build modes (comma-separated)")
+		shards         = flag.Int("shards", 8, "buffer shards in -concurrency mode (power of two)")
+		concurrencyOut = flag.String("concurrency-out", "", "with -concurrency: also write the sweep as a JSON artifact to this file")
 
 		build   = flag.Bool("build", false, "run the bulk-load throughput benchmark instead of the paper suite")
 		buildN  = flag.Int("n", 1000000, "entries for the in-memory sweep in -build mode")
@@ -132,6 +133,7 @@ func main() {
 			Seed:    *seed,
 			Shards:  *shards,
 			Workers: ws,
+			OutPath: *concurrencyOut,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "strbench: %v\n", err)

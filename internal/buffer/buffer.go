@@ -63,7 +63,11 @@ func (p Policy) String() string {
 
 // Frame is a buffered page. The frame's bytes are owned by the pool; a
 // caller may read and write Data between Fetch and Release but must not
-// retain it afterwards.
+// retain it afterwards. This pin scope is the lifetime contract of the
+// zero-copy read path: a node.View constructed over Data aliases these
+// bytes and must die before the Release — never stored, never returned
+// upward — because after the unpin the frame can be evicted and its
+// backing array handed to a different page.
 type Frame struct {
 	id    storage.PageID
 	data  []byte

@@ -20,7 +20,9 @@ import "strtree/internal/storage"
 // — until the matching Release.
 type Manager interface {
 	// Fetch pins the page, reading it from the pager on a miss. Every
-	// Fetch must be paired with a Release.
+	// Fetch must be paired with a Release, on every exit path including
+	// early stops and context cancellation: zero-copy views over the
+	// frame's bytes are only valid inside that pin scope.
 	Fetch(id storage.PageID) (*Frame, error)
 	// Create pins a zeroed frame for a freshly allocated page.
 	Create() (*Frame, error)

@@ -1,0 +1,81 @@
+package node
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzViewEquivalence throws arbitrary bytes at both page parsers and
+// requires them to agree byte-for-byte: MakeView accepts exactly the pages
+// Unmarshal accepts (and rejects with the same sentinel error), and on
+// accepted pages every View accessor returns exactly what the
+// materialized Node holds. This is the corruption-safety half of the
+// zero-copy read path's correctness argument — the traversal half is
+// pinned by internal/rtree's differential tests. The committed corpus
+// under testdata/fuzz/FuzzViewEquivalence seeds valid pages of several
+// shapes plus targeted mutations (header fields, payload, truncation).
+func FuzzViewEquivalence(f *testing.F) {
+	// Valid pages across levels, dimensionalities and fills.
+	for _, tc := range []struct{ level, dims, count int }{
+		{0, 2, 0}, {0, 2, 1}, {0, 2, 50}, {2, 2, 102}, {0, 1, 5}, {1, 8, 3},
+	} {
+		page := make([]byte, 4096)
+		n := sampleNode(tc.level, tc.dims, tc.count, rand.New(rand.NewSource(int64(tc.level+tc.dims+tc.count))))
+		if err := Marshal(n, page); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(page)
+	}
+	// Mutations of a valid page: header bytes, payload, truncations.
+	base := make([]byte, 1024)
+	if err := Marshal(sampleNode(1, 2, 20, rand.New(rand.NewSource(42))), base); err != nil {
+		f.Fatal(err)
+	}
+	for _, at := range []int{0, 2, 3, 4, 6, 8, 12, 200} {
+		mut := append([]byte(nil), base...)
+		mut[at] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add(base[:HeaderSize-1])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, page []byte) {
+		var n Node
+		uErr := Unmarshal(page, &n)
+		v, vErr := MakeView(page)
+
+		if (uErr == nil) != (vErr == nil) {
+			t.Fatalf("acceptance disagrees: Unmarshal err %v, MakeView err %v", uErr, vErr)
+		}
+		if uErr != nil {
+			// Same sentinel class on rejection.
+			for _, sentinel := range []error{ErrBadMagic, ErrBadVersion, ErrBadChecksum, ErrCorrupt} {
+				if errors.Is(uErr, sentinel) != errors.Is(vErr, sentinel) {
+					t.Fatalf("rejection class disagrees for %v: Unmarshal %v, MakeView %v", sentinel, uErr, vErr)
+				}
+			}
+			return
+		}
+
+		// Accepted: every accessor must match the materialized node.
+		if v.Level() != n.Level || v.Dims() != n.Dims || v.Count() != len(n.Entries) {
+			t.Fatalf("header disagrees: view (%d,%d,%d), node (%d,%d,%d)",
+				v.Level(), v.Dims(), v.Count(), n.Level, n.Dims, len(n.Entries))
+		}
+		for i, e := range n.Entries {
+			if v.EntryRef(i) != e.Ref {
+				t.Fatalf("entry %d ref disagrees", i)
+			}
+			if !v.EntryRect(i).Equal(e.Rect) {
+				t.Fatalf("entry %d rect disagrees", i)
+			}
+			for d := 0; d < n.Dims; d++ {
+				//strlint:ignore floateq decode must be bit-exact
+				if v.EntryMin(i, d) != e.Rect.Min[d] || v.EntryMax(i, d) != e.Rect.Max[d] {
+					t.Fatalf("entry %d axis %d disagrees", i, d)
+				}
+			}
+		}
+	})
+}

@@ -221,6 +221,7 @@ func TestPropRoundTripQuick(t *testing.T) {
 }
 
 func BenchmarkMarshal100(b *testing.B) {
+	b.ReportAllocs()
 	n := sampleNode(0, 2, 100, rand.New(rand.NewSource(7)))
 	page := make([]byte, 4096)
 	b.ResetTimer()
@@ -232,6 +233,7 @@ func BenchmarkMarshal100(b *testing.B) {
 }
 
 func BenchmarkUnmarshal100(b *testing.B) {
+	b.ReportAllocs()
 	n := sampleNode(0, 2, 100, rand.New(rand.NewSource(8)))
 	page := make([]byte, 4096)
 	if err := Marshal(n, page); err != nil {

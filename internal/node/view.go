@@ -1,0 +1,249 @@
+package node
+
+// View is the zero-copy counterpart of Unmarshal: a read-only window over
+// the serialized bytes of one page that decodes fields on demand instead
+// of materializing Node.Entries on the heap. The query read path iterates
+// Views over buffer-pinned pages, so a traversal touches exactly the
+// float64 words its predicate needs and allocates nothing per page.
+//
+// Lifetime contract: a View aliases the page slice it was created over and
+// is valid only as long as those bytes are stable — for a buffer-managed
+// page, between the buffer Fetch that pinned the frame and the matching
+// Release (see internal/buffer.Frame). Views must never be stored,
+// returned upward, or used after the pin is dropped; the traversal code in
+// internal/rtree creates a View per visited page and lets it die inside
+// the pin scope.
+//
+// Write paths (insert, delete, bulk load) keep using Unmarshal: they
+// mutate entries in place and re-marshal, which needs the materialized
+// form anyway, and their cost is dominated by page writes, not decoding.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"strtree/internal/geom"
+)
+
+// View is a lazily-decoded, read-only view over one serialized page.
+// The zero View is invalid; construct with MakeView, which performs the
+// same corruption checks as Unmarshal exactly once per page. A View is a
+// small value (slice header plus three ints) intended to live on the
+// stack; methods use value receivers so no View ever escapes to the heap.
+type View struct {
+	page  []byte
+	dims  int
+	level int
+	count int
+}
+
+// MakeView validates page and returns a view over it. The checks are
+// identical to Unmarshal's — magic, version, dimensionality, entry-count
+// bounds, payload CRC, and per-entry rectangle validity (no NaNs, Min <=
+// Max on every axis) — so a page accepted by one is accepted by the other
+// and a page rejected by one is rejected by the other with the same
+// sentinel error (FuzzViewEquivalence pins this). Validation decodes every
+// float once but retains nothing: after MakeView returns, accessors read
+// straight from the page bytes.
+func MakeView(page []byte) (View, error) {
+	if len(page) < HeaderSize {
+		return View{}, fmt.Errorf("%w: page shorter than header", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint16(page[0:]) != Magic {
+		return View{}, ErrBadMagic
+	}
+	if page[2] != Version {
+		return View{}, fmt.Errorf("%w: version %d", ErrBadVersion, page[2])
+	}
+	dims := int(page[3])
+	if dims == 0 {
+		return View{}, fmt.Errorf("%w: zero dimensionality", ErrCorrupt)
+	}
+	level := int(binary.LittleEndian.Uint16(page[4:]))
+	count := int(binary.LittleEndian.Uint16(page[6:]))
+	end := HeaderSize + count*EntrySize(dims)
+	if end > len(page) {
+		return View{}, fmt.Errorf("%w: %d entries overflow the page", ErrCorrupt, count)
+	}
+	if got, want := crc32.ChecksumIEEE(page[HeaderSize:end]), binary.LittleEndian.Uint32(page[8:]); got != want {
+		return View{}, fmt.Errorf("%w: crc %08x, header says %08x", ErrBadChecksum, got, want)
+	}
+	v := View{page: page, dims: dims, level: level, count: count}
+	for i := 0; i < count; i++ {
+		if !v.entryValid(i) {
+			// Materialize the offending rectangle only on the error path,
+			// to match Unmarshal's diagnostic.
+			var r geom.Rect
+			r.Min = make(geom.Point, dims)
+			r.Max = make(geom.Point, dims)
+			v.EntryRectInto(i, &r)
+			return View{}, fmt.Errorf("%w: entry %d has invalid rectangle %v", ErrCorrupt, i, r)
+		}
+	}
+	return v, nil
+}
+
+// entryValid reports whether entry i decodes to a well-formed rectangle:
+// no NaN coordinates and Min <= Max on every axis (geom.Rect.Valid over
+// the wire words, without building the rectangle).
+func (v View) entryValid(i int) bool {
+	off := HeaderSize + i*EntrySize(v.dims)
+	for d := 0; d < v.dims; d++ {
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(v.page[off:]))
+		hi := math.Float64frombits(binary.LittleEndian.Uint64(v.page[off+8:]))
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+			return false
+		}
+		off += 16
+	}
+	return true
+}
+
+// Level returns the node's level (0 = leaf).
+func (v View) Level() int { return v.level }
+
+// IsLeaf reports whether the page holds a leaf node.
+func (v View) IsLeaf() bool { return v.level == 0 }
+
+// Dims returns the page's dimensionality.
+func (v View) Dims() int { return v.dims }
+
+// Count returns the number of entries on the page.
+func (v View) Count() int { return v.count }
+
+// entryOff returns the byte offset of entry i's first coordinate.
+func (v View) entryOff(i int) int { return HeaderSize + i*EntrySize(v.dims) }
+
+// EntryRef returns entry i's pointer: the child page number on internal
+// levels, the opaque object identifier on leaves.
+func (v View) EntryRef(i int) uint64 {
+	off := v.entryOff(i) + 16*v.dims
+	return binary.LittleEndian.Uint64(v.page[off:])
+}
+
+// EntryID is EntryRef under its leaf-level meaning: the data object's
+// identifier. Provided so leaf-iterating code reads naturally.
+func (v View) EntryID(i int) uint64 { return v.EntryRef(i) }
+
+// EntryMin returns coordinate d of entry i's lower corner.
+func (v View) EntryMin(i, d int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.page[v.entryOff(i)+16*d:]))
+}
+
+// EntryMax returns coordinate d of entry i's upper corner.
+func (v View) EntryMax(i, d int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.page[v.entryOff(i)+16*d+8:]))
+}
+
+// EntryRect returns entry i's rectangle as a freshly allocated geom.Rect.
+// Hot paths should prefer EntryRectInto with reused storage; this form
+// exists for call sites where an owned rectangle is the point (error
+// diagnostics, result materialization).
+func (v View) EntryRect(i int) geom.Rect {
+	r := geom.Rect{Min: make(geom.Point, v.dims), Max: make(geom.Point, v.dims)}
+	v.EntryRectInto(i, &r)
+	return r
+}
+
+// EntryRectInto decodes entry i's rectangle into dst, whose Min and Max
+// must already have length Dims. dst may be reused across calls — the
+// allocation-free traversal decodes every emitted match into one scratch
+// rectangle.
+func (v View) EntryRectInto(i int, dst *geom.Rect) {
+	off := v.entryOff(i)
+	for d := 0; d < v.dims; d++ {
+		dst.Min[d] = math.Float64frombits(binary.LittleEndian.Uint64(v.page[off:]))
+		dst.Max[d] = math.Float64frombits(binary.LittleEndian.Uint64(v.page[off+8:]))
+		off += 16
+	}
+}
+
+// AppendEntryCoords appends entry i's coordinates to dst as Min[0..dims)
+// followed by Max[0..dims), the layout rectFromSlab-style consumers slice
+// back into a geom.Rect. It lets a traversal bank coordinates in one
+// growable slab instead of allocating a rectangle per retained entry.
+func (v View) AppendEntryCoords(dst []float64, i int) []float64 {
+	off := v.entryOff(i)
+	for d := 0; d < v.dims; d++ {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(v.page[off:])))
+		off += 16
+	}
+	off = v.entryOff(i) + 8
+	for d := 0; d < v.dims; d++ {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(v.page[off:])))
+		off += 16
+	}
+	return dst
+}
+
+// IntersectsQuery reports whether entry i's rectangle intersects q
+// (closed-box semantics, exactly geom.Rect.Intersects), comparing raw
+// float64 words in place. The kernel deliberately has no data-dependent
+// early exit: the verdict accumulates across all k axes in one flag, so
+// for the small fixed k of an R-tree page the loop runs the same
+// instruction stream for hits and misses instead of taking a
+// hard-to-predict branch per axis. q must have dimension Dims and contain
+// no NaNs (the tree validates queries on entry; MakeView validated the
+// page), which makes the accumulated comparison equivalent to the
+// short-circuiting original.
+func (v View) IntersectsQuery(q geom.Rect, i int) bool {
+	off := v.entryOff(i)
+	miss := false
+	for d := 0; d < v.dims; d++ {
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(v.page[off:]))
+		hi := math.Float64frombits(binary.LittleEndian.Uint64(v.page[off+8:]))
+		miss = miss || lo > q.Max[d] || q.Min[d] > hi
+		off += 16
+	}
+	return !miss
+}
+
+// MinDist returns the minimum Euclidean distance from point p to entry
+// i's rectangle (0 if p is inside), decoded in place — the best-first
+// nearest-neighbor traversal's distance kernel.
+func (v View) MinDist(p geom.Point, i int) float64 {
+	off := v.entryOff(i)
+	sum := 0.0
+	for d := range p {
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(v.page[off:]))
+		hi := math.Float64frombits(binary.LittleEndian.Uint64(v.page[off+8:]))
+		var dd float64
+		switch {
+		case p[d] < lo:
+			dd = lo - p[d]
+		case p[d] > hi:
+			dd = p[d] - hi
+		}
+		sum += dd * dd
+		off += 16
+	}
+	return math.Sqrt(sum)
+}
+
+// MBRInto computes the minimum bounding rectangle of the page's entries
+// into dst, whose Min and Max must already have length Dims. It panics on
+// an empty page, matching Node.MBR's contract.
+func (v View) MBRInto(dst *geom.Rect) {
+	if v.count == 0 {
+		//strlint:ignore panics documented contract: an empty node has no MBR, matching Node.MBR
+		panic("node: MBR of empty view")
+	}
+	v.EntryRectInto(0, dst)
+	off := v.entryOff(1)
+	for i := 1; i < v.count; i++ {
+		for d := 0; d < v.dims; d++ {
+			lo := math.Float64frombits(binary.LittleEndian.Uint64(v.page[off:]))
+			hi := math.Float64frombits(binary.LittleEndian.Uint64(v.page[off+8:]))
+			if lo < dst.Min[d] {
+				dst.Min[d] = lo
+			}
+			if hi > dst.Max[d] {
+				dst.Max[d] = hi
+			}
+			off += 16
+		}
+		off += 8
+	}
+}

@@ -8,6 +8,7 @@ package router
 // prune), and merge latency.
 
 import (
+	"io"
 	"net/http"
 	"net/http/pprof"
 
@@ -94,7 +95,12 @@ func (r *Router) Registry() *obs.Registry { return r.reg }
 // AdminHandler returns the admin HTTP surface, mirroring strserve's:
 //
 //	/metrics        Prometheus text exposition (0.0.4)
-//	/stats          the same series as JSON
+//	/stats          the same series as JSON, wrapped in an object whose
+//	                "percentiles" field is "upper-bound": any series this
+//	                process derives by folding per-shard digests (the
+//	                OpStats fan-out, mergeSummary) reports P50/P95/P99 as
+//	                the max across shards — an upper bound, since exact
+//	                quantiles of independent digests cannot be combined
 //	/healthz        200 "ok" while ready; 503 "draining" once
 //	                MarkNotReady or Shutdown has run
 //	/debug/pprof/   the stdlib profiles
@@ -111,7 +117,19 @@ func (r *Router) AdminHandler() http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		// The wrapper names the fold semantics so dashboards cannot
+		// mistake merged tail latencies for exact cluster quantiles:
+		// mergeSummary combines per-shard digests by taking the larger
+		// quantile, so every folded P50/P95/P99 is an upper bound.
+		if _, err := io.WriteString(w, `{"percentiles":"upper-bound","families":`); err != nil {
+			r.logf("strrouter: admin: write /stats: %v", err)
+			return
+		}
 		if err := r.reg.WriteJSON(w); err != nil {
+			r.logf("strrouter: admin: write /stats: %v", err)
+			return
+		}
+		if _, err := io.WriteString(w, "}\n"); err != nil {
 			r.logf("strrouter: admin: write /stats: %v", err)
 		}
 	})

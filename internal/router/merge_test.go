@@ -169,3 +169,40 @@ func TestMergeStats(t *testing.T) {
 		t.Fatalf("tail fold wrong: %+v", got.Latency)
 	}
 }
+
+// TestMergeSummaryUpperBoundFold pins the quantile fold semantics the
+// admin surface advertises ("percentiles":"upper-bound" on /stats):
+// every folded quantile is the max across inputs — never an average,
+// never a count-weighted blend — while Count sums, Mean is
+// count-weighted, and Max is the true maximum. If the fold ever changes,
+// this test and the /stats wrapper must change together.
+func TestMergeSummaryUpperBoundFold(t *testing.T) {
+	a := wire.Summary{Count: 10, Mean: 100, P50: 90, P95: 400, P99: 900, Max: 1000}
+	b := wire.Summary{Count: 30, Mean: 20, P50: 110, P95: 300, P99: 950, Max: 980}
+	got := mergeSummary(a, b)
+	if got.Count != 40 {
+		t.Fatalf("Count = %d, want 40", got.Count)
+	}
+	if got.Mean != 40 { // (10*100 + 30*20) / 40
+		t.Fatalf("Mean = %d, want count-weighted 40", got.Mean)
+	}
+	// Each quantile takes the larger input independently: P50 from b,
+	// P95 from a, P99 from b. The result over-reports whenever the true
+	// combined quantile sits below the larger shard's — the conservative
+	// direction for an operator watching tails.
+	if got.P50 != 110 || got.P95 != 400 || got.P99 != 950 {
+		t.Fatalf("quantile fold = {P50:%d P95:%d P99:%d}, want upper bounds {110 400 950}", got.P50, got.P95, got.P99)
+	}
+	if got.Max != 1000 {
+		t.Fatalf("Max = %d, want true maximum 1000", got.Max)
+	}
+
+	// A zero-count digest is the fold's identity in either position: the
+	// other digest passes through untouched, quantiles included.
+	if got := mergeSummary(wire.Summary{}, a); got != a {
+		t.Fatalf("identity fold (left) = %+v, want %+v", got, a)
+	}
+	if got := mergeSummary(a, wire.Summary{}); got != a {
+		t.Fatalf("identity fold (right) = %+v, want %+v", got, a)
+	}
+}

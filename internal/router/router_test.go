@@ -134,12 +134,18 @@ func TestRouterAdminSurface(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("/stats = %d", code)
 	}
-	var series []map[string]any
-	if err := json.Unmarshal([]byte(body), &series); err != nil {
-		t.Fatalf("/stats is not a JSON array: %v", err)
+	var stats struct {
+		Percentiles string           `json:"percentiles"`
+		Families    []map[string]any `json:"families"`
 	}
-	if len(series) == 0 {
-		t.Error("/stats empty")
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("/stats is not a JSON object: %v", err)
+	}
+	if stats.Percentiles != "upper-bound" {
+		t.Errorf("/stats percentiles = %q, want %q (folded quantiles are upper bounds)", stats.Percentiles, "upper-bound")
+	}
+	if len(stats.Families) == 0 {
+		t.Error("/stats families empty")
 	}
 
 	if code, _ := get("/healthz"); code != 200 {

@@ -2,18 +2,18 @@
 // enforces per-request deadlines by threading a context into query
 // execution; these variants check the context once per node visit, so a
 // cancelled or expired request stops within one page fetch instead of
-// running its traversal to completion. The context-free methods in
-// search.go and nearest.go stay untouched: the paper-reproduction
-// experiments keep their exact call paths and access accounting.
+// running its traversal to completion. They share the zero-copy traversal
+// implementations in traverse.go with the context-free methods — the only
+// difference is a non-nil ctx, consulted at exactly the points the old
+// recursive variants consulted it (before every node read, and once per
+// priority-queue pop for nearest-neighbor search).
 package rtree
 
 import (
-	"container/heap"
 	"context"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
-	"strtree/internal/storage"
 )
 
 // SearchContext is Search with cooperative cancellation: ctx is consulted
@@ -21,46 +21,7 @@ import (
 // context.DeadlineExceeded — is returned as soon as it is observed.
 // Matches already emitted stay emitted; the traversal simply stops.
 func (t *Tree) SearchContext(ctx context.Context, q geom.Rect, fn func(e node.Entry) bool) error {
-	if err := t.checkEntry(q); err != nil {
-		return err
-	}
-	if t.height == 0 {
-		return ctx.Err()
-	}
-	_, err := t.searchCtx(ctx, t.root, q, fn)
-	return err
-}
-
-// searchCtx mirrors search (search.go) plus the per-node context check.
-func (t *Tree) searchCtx(ctx context.Context, id storage.PageID, q geom.Rect, fn func(node.Entry) bool) (more bool, err error) {
-	if err := ctx.Err(); err != nil {
-		return false, err
-	}
-	var n node.Node
-	if err := t.readNode(id, &n); err != nil {
-		return false, err
-	}
-	if n.IsLeaf() {
-		for _, e := range n.Entries {
-			if !q.Intersects(e.Rect) {
-				continue
-			}
-			if !fn(e) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-	for _, e := range n.Entries {
-		if !q.Intersects(e.Rect) {
-			continue
-		}
-		more, err := t.searchCtx(ctx, storage.PageID(e.Ref), q, fn)
-		if err != nil || !more {
-			return more, err
-		}
-	}
-	return true, nil
+	return t.searchView(ctx, q, fn)
 }
 
 // CountContext is Count under a context.
@@ -73,44 +34,11 @@ func (t *Tree) CountContext(ctx context.Context, q geom.Rect) (int, error) {
 // NearestContext is Nearest with cooperative cancellation, checked once
 // per priority-queue pop — i.e. at least once per node read.
 func (t *Tree) NearestContext(ctx context.Context, p geom.Point, fn func(e node.Entry, dist float64) bool) error {
-	if len(p) != t.dims {
-		return t.checkEntry(geom.PointRect(p)) // produces the dimension error
-	}
-	if t.height == 0 {
-		return ctx.Err()
-	}
-	pq := &distQueue{}
-	heap.Push(pq, distItem{dist: 0, page: t.root, isNode: true})
-	var n node.Node
-	for pq.Len() > 0 {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		it := heap.Pop(pq).(distItem)
-		if !it.isNode {
-			if !fn(it.entry, it.dist) {
-				return nil
-			}
-			continue
-		}
-		if err := t.readNode(it.page, &n); err != nil {
-			return err
-		}
-		for _, e := range n.Entries {
-			d := minDist(p, e.Rect)
-			if n.IsLeaf() {
-				// Deep-copy the rectangle: n's entry storage is reused by
-				// the next readNode.
-				heap.Push(pq, distItem{dist: d, entry: node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref}, isNode: false})
-			} else {
-				heap.Push(pq, distItem{dist: d, page: storage.PageID(e.Ref), isNode: true})
-			}
-		}
-	}
-	return nil
+	return t.nearestView(ctx, p, fn)
 }
 
 // NearestKContext collects the k nearest entries to p under a context.
+// The returned entries are deep copies and safe to retain.
 func (t *Tree) NearestKContext(ctx context.Context, p geom.Point, k int) ([]node.Entry, []float64, error) {
 	if k <= 0 {
 		return nil, nil, nil
@@ -118,7 +46,7 @@ func (t *Tree) NearestKContext(ctx context.Context, p geom.Point, k int) ([]node
 	entries := make([]node.Entry, 0, k)
 	dists := make([]float64, 0, k)
 	err := t.NearestContext(ctx, p, func(e node.Entry, d float64) bool {
-		entries = append(entries, e)
+		entries = append(entries, node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref})
 		dists = append(dists, d)
 		return len(entries) < k
 	})

@@ -25,6 +25,12 @@ func Join(a, b *Tree, fn func(ea, eb node.Entry) bool) error {
 // within Euclidean distance dist of each other (dist 0 reduces to the
 // intersection join). Node pairs farther apart than dist are pruned
 // before their subtrees are read.
+//
+// The traversal runs on the zero-copy read path: each popped node pair is
+// banked out of its pinned views into pooled buffers (one pin at a time,
+// both pages fetched per pair, exactly like the recursive reference), so
+// a steady-state join allocates nothing. The entries passed to fn alias
+// those pooled buffers and are valid only during the callback.
 func JoinWithin(a, b *Tree, dist float64, fn func(ea, eb node.Entry) bool) error {
 	if a.dims != b.dims {
 		return fmt.Errorf("rtree: join dimensions disagree: %d vs %d", a.dims, b.dims)
@@ -35,83 +41,78 @@ func JoinWithin(a, b *Tree, dist float64, fn func(ea, eb node.Entry) bool) error
 	if a.height == 0 || b.height == 0 {
 		return nil
 	}
-	j := &joiner{a: a, b: b, dist: dist, fn: fn}
-	_, err := j.visit(a.root, b.root)
-	return err
+	a.readQueries.Add(1)
+	b.readQueries.Add(1)
+	tr := a.getTraverser()
+	defer putTraverser(tr)
+	dims := a.dims
+	filter := tr.rectScratch(dims)
+	tr.pairs = append(tr.pairs[:0], pagePair{a: a.root, b: b.root})
+	for len(tr.pairs) > 0 {
+		top := len(tr.pairs) - 1
+		pr := tr.pairs[top]
+		tr.pairs = tr.pairs[:top]
+		if err := a.bankNode(pr.a, &tr.bankA); err != nil {
+			return err
+		}
+		if err := b.bankNode(pr.b, &tr.bankB); err != nil {
+			return err
+		}
+		na, nb := &tr.bankA, &tr.bankB
+		switch {
+		case na.level == 0 && nb.level == 0:
+			for i := 0; i < na.count; i++ {
+				ra := na.rect(i, dims)
+				for k := 0; k < nb.count; k++ {
+					rb := nb.rect(k, dims)
+					if !joinNear(dist, ra, rb) {
+						continue
+					}
+					if !fn(node.Entry{Rect: ra, Ref: na.refs[i]}, node.Entry{Rect: rb, Ref: nb.refs[k]}) {
+						return nil
+					}
+				}
+			}
+
+		case na.level > 0 && (nb.level == 0 || na.level >= nb.level):
+			// Descend the taller (or internal) side a: expand each child of
+			// na within the join distance of nb's MBR against the same nb.
+			nb.mbrInto(&filter, dims)
+			base := len(tr.pairs)
+			for i := 0; i < na.count; i++ {
+				if joinNear(dist, filter, na.rect(i, dims)) {
+					tr.pairs = append(tr.pairs, pagePair{a: storage.PageID(na.refs[i]), b: pr.b})
+				}
+			}
+			reversePairs(tr.pairs[base:])
+
+		default:
+			na.mbrInto(&filter, dims)
+			base := len(tr.pairs)
+			for i := 0; i < nb.count; i++ {
+				if joinNear(dist, filter, nb.rect(i, dims)) {
+					tr.pairs = append(tr.pairs, pagePair{a: pr.a, b: storage.PageID(nb.refs[i])})
+				}
+			}
+			reversePairs(tr.pairs[base:])
+		}
+	}
+	return nil
 }
 
-type joiner struct {
-	a, b *Tree
-	dist float64
-	fn   func(ea, eb node.Entry) bool
-}
-
-// near reports whether two rectangles are within the join distance.
-func (j *joiner) near(a, b geom.Rect) bool {
+// joinNear reports whether two rectangles are within the join distance.
+func joinNear(dist float64, a, b geom.Rect) bool {
 	//strlint:ignore floateq 0 is the exact sentinel selecting an intersection join
-	if j.dist == 0 {
+	if dist == 0 {
 		return a.Intersects(b)
 	}
-	return a.Dist(b) <= j.dist
+	return a.Dist(b) <= dist
 }
 
-// visit expands the node pair (pa, pb). It returns false when the caller
-// should stop the whole join.
-func (j *joiner) visit(pa, pb storage.PageID) (more bool, err error) {
-	var na, nb node.Node
-	if err := j.a.readNode(pa, &na); err != nil {
-		return false, err
+// reversePairs reverses s in place, so pairs pushed in entry order pop in
+// entry order — the recursive reference's depth-first expansion order.
+func reversePairs(s []pagePair) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
 	}
-	if err := j.b.readNode(pb, &nb); err != nil {
-		return false, err
-	}
-	switch {
-	case na.IsLeaf() && nb.IsLeaf():
-		for _, ea := range na.Entries {
-			for _, eb := range nb.Entries {
-				if !j.near(ea.Rect, eb.Rect) {
-					continue
-				}
-				if !j.fn(ea, eb) {
-					return false, nil
-				}
-			}
-		}
-		return true, nil
-
-	case !na.IsLeaf() && (nb.IsLeaf() || na.Level >= nb.Level):
-		// Descend the taller (or internal) side a. Copy the entries we
-		// need before recursing: readNode reuses node storage.
-		nbMBR := nb.MBR()
-		children := j.childPages(&na, nbMBR)
-		for _, child := range children {
-			more, err := j.visit(child, pb)
-			if err != nil || !more {
-				return more, err
-			}
-		}
-		return true, nil
-
-	default:
-		naMBR := na.MBR()
-		children := j.childPages(&nb, naMBR)
-		for _, child := range children {
-			more, err := j.visit(pa, child)
-			if err != nil || !more {
-				return more, err
-			}
-		}
-		return true, nil
-	}
-}
-
-// childPages lists the children of n within the join distance of filter.
-func (j *joiner) childPages(n *node.Node, filter geom.Rect) []storage.PageID {
-	var out []storage.PageID
-	for _, e := range n.Entries {
-		if j.near(filter, e.Rect) {
-			out = append(out, storage.PageID(e.Ref))
-		}
-	}
-	return out
 }

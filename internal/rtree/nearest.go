@@ -1,12 +1,10 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
 
 	"strtree/internal/geom"
 	"strtree/internal/node"
-	"strtree/internal/storage"
 )
 
 // Nearest streams data entries in order of increasing distance from p
@@ -16,44 +14,20 @@ import (
 // Returning false from fn stops the search; a k-nearest-neighbor query
 // returns false after consuming k entries.
 //
+// The search runs on the zero-copy read path (traverse.go): the priority
+// queue and the coordinate slab backing emitted rectangles are pooled, so
+// a steady-state Nearest allocates nothing. The entry passed to fn aliases
+// that pooled storage and is valid only during the callback; Clone its
+// rectangle to retain it (NearestK does).
+//
 // Like Search, every node visited costs one buffer fetch, so the pool's
 // DiskReads delta measures the query's I/O.
 func (t *Tree) Nearest(p geom.Point, fn func(e node.Entry, dist float64) bool) error {
-	if len(p) != t.dims {
-		return t.checkEntry(geom.PointRect(p)) // produces the dimension error
-	}
-	if t.height == 0 {
-		return nil
-	}
-	pq := &distQueue{}
-	heap.Push(pq, distItem{dist: 0, page: t.root, isNode: true})
-	var n node.Node
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
-		if !it.isNode {
-			if !fn(it.entry, it.dist) {
-				return nil
-			}
-			continue
-		}
-		if err := t.readNode(it.page, &n); err != nil {
-			return err
-		}
-		for _, e := range n.Entries {
-			d := minDist(p, e.Rect)
-			if n.IsLeaf() {
-				// Deep-copy the rectangle: n's entry storage is reused by
-				// the next readNode.
-				heap.Push(pq, distItem{dist: d, entry: node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref}, isNode: false})
-			} else {
-				heap.Push(pq, distItem{dist: d, page: storage.PageID(e.Ref), isNode: true})
-			}
-		}
-	}
-	return nil
+	return t.nearestView(nil, p, fn)
 }
 
-// NearestK collects the k nearest entries to p.
+// NearestK collects the k nearest entries to p. The returned entries are
+// deep copies and safe to retain.
 func (t *Tree) NearestK(p geom.Point, k int) ([]node.Entry, []float64, error) {
 	if k <= 0 {
 		return nil, nil, nil
@@ -61,7 +35,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]node.Entry, []float64, error) {
 	entries := make([]node.Entry, 0, k)
 	dists := make([]float64, 0, k)
 	err := t.Nearest(p, func(e node.Entry, d float64) bool {
-		entries = append(entries, e)
+		entries = append(entries, node.Entry{Rect: e.Rect.Clone(), Ref: e.Ref})
 		dists = append(dists, d)
 		return len(entries) < k
 	})
@@ -69,7 +43,9 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]node.Entry, []float64, error) {
 }
 
 // minDist returns the squared-free Euclidean distance from a point to the
-// nearest point of a rectangle (0 if the point is inside).
+// nearest point of a rectangle (0 if the point is inside). node.View's
+// MinDist kernel runs this exact float sequence over the wire words; the
+// equivalence tests compare against this reference.
 func minDist(p geom.Point, r geom.Rect) float64 {
 	sum := 0.0
 	for i := range p {
@@ -83,34 +59,4 @@ func minDist(p geom.Point, r geom.Rect) float64 {
 		sum += d * d
 	}
 	return math.Sqrt(sum)
-}
-
-// distItem is a prioritized node page or data entry.
-type distItem struct {
-	dist   float64
-	page   storage.PageID
-	entry  node.Entry
-	isNode bool
-}
-
-// distQueue is a min-heap on distance; ties prefer data entries so results
-// surface as early as possible.
-type distQueue []distItem
-
-func (q distQueue) Len() int { return len(q) }
-func (q distQueue) Less(i, j int) bool {
-	//strlint:ignore floateq exact tie-break: only precisely equal distances defer to the entry-kind rule
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
-	}
-	return !q[i].isNode && q[j].isNode
-}
-func (q distQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *distQueue) Push(x any)   { *q = append(*q, x.(distItem)) }
-func (q *distQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
 }

@@ -393,6 +393,7 @@ func TestCompactInto(t *testing.T) {
 }
 
 func BenchmarkNearestK10(b *testing.B) {
+	b.ReportAllocs()
 	pool := buffer.NewPool(storage.NewMemPager(4096), 4096)
 	tr, err := Create(pool, Config{Dims: 2, Capacity: 100})
 	if err != nil {
@@ -411,6 +412,7 @@ func BenchmarkNearestK10(b *testing.B) {
 }
 
 func BenchmarkJoin(b *testing.B) {
+	b.ReportAllocs()
 	mk := func(seed int64) *Tree {
 		pool := buffer.NewPool(storage.NewMemPager(4096), 4096)
 		tr, err := Create(pool, Config{Dims: 2, Capacity: 100})

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"strtree/internal/buffer"
 	"strtree/internal/geom"
@@ -78,9 +79,11 @@ type Config struct {
 // so its DiskReads counter is exactly the paper's number of disk accesses.
 // A Tree is not safe for concurrent mutation. Concurrent Search calls on
 // one Tree are safe while no mutation runs: the read path touches only
-// immutable tree fields and the buffer manager, whose pin protocol keeps a
-// fetched page's bytes stable until release (node.Unmarshal then copies
-// them out). Use a sharded manager (buffer.Sharded) so concurrent readers
+// immutable tree fields, per-query pooled traversal state, and the buffer
+// manager, whose pin protocol keeps a fetched page's bytes stable until
+// release (queries decode them in place through node.View inside that pin
+// scope; write paths copy them out with node.Unmarshal). Use a sharded
+// manager (buffer.Sharded) so concurrent readers
 // do not serialize behind one buffer mutex, or independent Trees sharing a
 // pager for fully separate buffer accounting.
 type Tree struct {
@@ -106,6 +109,12 @@ type Tree struct {
 		done    map[int]bool
 		pending []orphan
 	}
+
+	// Zero-copy read-path counters (traverse.go). Atomic because
+	// concurrent Search calls are allowed; see ReadStats.
+	readQueries atomic.Uint64
+	viewPages   atomic.Uint64
+	travAllocs  atomic.Uint64
 }
 
 const (

@@ -882,6 +882,7 @@ func TestTreeAccessors(t *testing.T) {
 }
 
 func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
 	pool := buffer.NewPool(storage.NewMemPager(4096), 1024)
 	tr, err := Create(pool, Config{Dims: 2, Capacity: 100})
 	if err != nil {
@@ -898,6 +899,7 @@ func BenchmarkInsert(b *testing.B) {
 }
 
 func BenchmarkBulkLoad10k(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		pool := buffer.NewPool(storage.NewMemPager(4096), 1024)
@@ -914,6 +916,7 @@ func BenchmarkBulkLoad10k(b *testing.B) {
 }
 
 func BenchmarkSearchPacked(b *testing.B) {
+	b.ReportAllocs()
 	pool := buffer.NewPool(storage.NewMemPager(4096), 4096)
 	tr, err := Create(pool, Config{Dims: 2, Capacity: 100})
 	if err != nil {

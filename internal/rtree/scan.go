@@ -7,20 +7,50 @@ import (
 
 // Scan streams every data entry in the tree in leaf order (for packed
 // trees, the packing order). Returning false from fn stops the scan. The
-// entry's rectangle aliases internal storage and is only valid during the
-// callback.
+// scan runs on the zero-copy read path with a pooled explicit stack,
+// visiting nodes in the same depth-first preorder as Walk. The entry's
+// rectangle aliases pooled traversal storage and is only valid during the
+// callback; Clone it to retain it (Entries does).
 func (t *Tree) Scan(fn func(e node.Entry) bool) error {
-	return t.Walk(func(_ storage.PageID, n *node.Node) bool {
-		if !n.IsLeaf() {
-			return true
+	if t.height == 0 {
+		return nil
+	}
+	t.readQueries.Add(1)
+	tr := t.getTraverser()
+	defer putTraverser(tr)
+	dims := t.dims
+	tr.stack = append(tr.stack[:0], t.root)
+	for len(tr.stack) > 0 {
+		top := len(tr.stack) - 1
+		id := tr.stack[top]
+		tr.stack = tr.stack[:top]
+		f, v, err := t.fetchView(id)
+		if err != nil {
+			return err
 		}
-		for _, e := range n.Entries {
-			if !fn(e) {
-				return false
+		if v.IsLeaf() {
+			tr.slab = tr.slab[:0]
+			tr.refs = tr.refs[:0]
+			for i := 0; i < v.Count(); i++ {
+				tr.slab = v.AppendEntryCoords(tr.slab, i)
+				tr.refs = append(tr.refs, v.EntryRef(i))
 			}
+			t.pool.Release(f)
+			for i, ref := range tr.refs {
+				if !fn(node.Entry{Rect: slabRect(tr.slab, i, dims), Ref: ref}) {
+					return nil
+				}
+			}
+			continue
 		}
-		return true
-	})
+		base := len(tr.stack)
+		for i := 0; i < v.Count(); i++ {
+			tr.stack = append(tr.stack, storage.PageID(v.EntryRef(i)))
+		}
+		t.pool.Release(f)
+		reversePages(tr.stack[base:])
+	}
+	return nil
 }
 
 // Entries collects deep copies of every data entry in the tree, the input

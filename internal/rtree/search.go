@@ -7,26 +7,43 @@ import (
 )
 
 // Search reports every data entry whose rectangle intersects q, using the
-// paper's recursive procedure: starting at the root, retrieve all
-// rectangles stored at a node that intersect Q; recurse into the subtrees
-// of retrieved internal rectangles; report retrieved leaf rectangles.
-// Returning false from fn stops the search early.
+// paper's procedure: starting at the root, retrieve all rectangles stored
+// at a node that intersect Q; descend into the subtrees of retrieved
+// internal rectangles; report retrieved leaf rectangles. Returning false
+// from fn stops the search early.
 //
-// Every node visited costs one buffer Fetch, so after a Search the pool's
-// DiskReads delta is exactly the paper's "number of disk accesses to
-// satisfy the query".
+// The traversal runs on the zero-copy read path (traverse.go): pages are
+// decoded in place through node.View and all traversal state is pooled, so
+// a steady-state Search allocates nothing. Node visits happen in exactly
+// the order of the recursive reference implementation (SearchUnmarshal),
+// so the pool's DiskReads delta after a Search is still exactly the
+// paper's "number of disk accesses to satisfy the query".
+//
+// The entry passed to fn aliases pooled traversal storage and is valid
+// only during the callback; Clone its rectangle to retain it.
 func (t *Tree) Search(q geom.Rect, fn func(e node.Entry) bool) error {
+	return t.searchView(nil, q, fn)
+}
+
+// SearchUnmarshal is the recursive, materializing reference
+// implementation of Search: every visited page is decoded with
+// node.Unmarshal into a fresh node.Node. It visits the same pages in the
+// same order and reports the same entries as Search, which the
+// differential tests (TestSearchResultsIdentical) assert; it is retained
+// as the oracle for those tests and allocates per visited node, so query
+// paths should use Search.
+func (t *Tree) SearchUnmarshal(q geom.Rect, fn func(e node.Entry) bool) error {
 	if err := t.checkEntry(q); err != nil {
 		return err
 	}
 	if t.height == 0 {
 		return nil
 	}
-	_, err := t.search(t.root, q, fn)
+	_, err := t.searchRec(t.root, q, fn)
 	return err
 }
 
-func (t *Tree) search(id storage.PageID, q geom.Rect, fn func(node.Entry) bool) (more bool, err error) {
+func (t *Tree) searchRec(id storage.PageID, q geom.Rect, fn func(node.Entry) bool) (more bool, err error) {
 	var n node.Node
 	if err := t.readNode(id, &n); err != nil {
 		return false, err
@@ -46,7 +63,7 @@ func (t *Tree) search(id storage.PageID, q geom.Rect, fn func(node.Entry) bool) 
 		if !q.Intersects(e.Rect) {
 			continue
 		}
-		more, err := t.search(storage.PageID(e.Ref), q, fn)
+		more, err := t.searchRec(storage.PageID(e.Ref), q, fn)
 		if err != nil || !more {
 			return more, err
 		}
@@ -73,7 +90,8 @@ func (t *Tree) SearchPoint(p geom.Point, fn func(e node.Entry) bool) error {
 	return t.Search(geom.PointRect(p), fn)
 }
 
-// Count returns the number of data entries intersecting q.
+// Count returns the number of data entries intersecting q. Like Search it
+// runs on the zero-copy read path and allocates nothing at steady state.
 func (t *Tree) Count(q geom.Rect) (int, error) {
 	n := 0
 	err := t.Search(q, func(node.Entry) bool { n++; return true })

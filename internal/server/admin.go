@@ -77,6 +77,16 @@ func (s *Server) buildRegistry() *obs.Registry {
 			func() float64 { return float64(s.tree.ShardStats()[i].Pinned) }, shard)
 	}
 
+	// Zero-copy read path: decode and allocation counters. A growing
+	// allocs-to-queries ratio under steady load means the query path
+	// regressed from allocation-free operation.
+	r.CounterFunc("strserve_read_queries_total", "View-path query traversals started.",
+		func() uint64 { return s.tree.ReadPathStats().Queries })
+	r.CounterFunc("strserve_view_pages_total", "Pages decoded in place through node views (one per node visit on the read path).",
+		func() uint64 { return s.tree.ReadPathStats().ViewPages })
+	r.CounterFunc("strserve_traverser_allocs_total", "Traversal-state pool misses, i.e. heap allocations of query state.",
+		func() uint64 { return s.tree.ReadPathStats().TraverserAllocs })
+
 	// Batch executor activity (OpBatch requests).
 	r.CounterFunc("strserve_batch_batches_total", "Batch requests completed by the executor.",
 		func() uint64 { return s.tree.BatchExecStats().BatchesDone })

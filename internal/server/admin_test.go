@@ -116,6 +116,10 @@ func TestAdminRoundTrip(t *testing.T) {
 		"strserve_buffer_hits_total{shard=\"0\"}",
 		"strserve_buffer_hits_total{shard=\"3\"}",
 		"strserve_buffer_pinned_frames{shard=\"0\"} 0\n",
+		"# TYPE strserve_read_queries_total counter\n",
+		"strserve_read_queries_total 6\n",
+		"# TYPE strserve_view_pages_total counter\n",
+		"# TYPE strserve_traverser_allocs_total counter\n",
 		"strserve_draining 0\n",
 		"strserve_ready 1\n",
 		"strserve_tree_items 2000\n",

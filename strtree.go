@@ -509,6 +509,18 @@ func (t *Tree) BatchExecStats() BatchExecStats {
 	}
 }
 
+// ReadPathStats counts zero-copy read-path activity: queries run,
+// pages decoded through lazy views, and traverser-pool misses; see
+// Tree.ReadPathStats.
+type ReadPathStats = rtree.ReadStats
+
+// ReadPathStats snapshots the zero-copy read path's counters for this
+// tree: Queries (view-path traversals started), ViewPages (pages decoded
+// in place, one per node visit), and TraverserAllocs (traversal-state
+// pool misses — flat under steady load once warm; growth means queries
+// are allocating). The serving layer exposes these on /metrics.
+func (t *Tree) ReadPathStats() ReadPathStats { return t.inner.ReadStats() }
+
 // BuildStats is the phase breakdown of a bulk load; see LastBuildStats.
 type BuildStats = rtree.BuildStats
 
