@@ -73,6 +73,58 @@ func TestSearchViewZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSearchMutatedViewZeroAlloc is the write path's read-side guarantee:
+// a tree that has been mutated (in-place appends, patched MBRs, splits,
+// condensations) and re-verified must serve warm Search and Count at zero
+// allocations per query, exactly like a freshly packed one. "Mutate" and
+// "View" in the name place it in check.sh's root race list, where the
+// alloc assertion skips.
+func TestSearchMutatedViewZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	tr := zeroAllocTree(t)
+	defer func() {
+		if err := tr.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Churn the tree: enough inserts to split leaves and enough deletes
+	// to patch MBRs in place, then prove it is still structurally sound.
+	items := randItems(2000, 99)
+	for _, it := range items {
+		if err := tr.Insert(it.Rect, it.ID+1<<32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items[:1000] {
+		found, err := tr.Delete(it.Rect, it.ID+1<<32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("churn delete of id %d not found", it.ID)
+		}
+	}
+	ms := tr.MutatePathStats()
+	if ms.InPlaceInserts == 0 || ms.InPlaceDeletes == 0 {
+		t.Fatalf("churn exercised no in-place mutations: %+v", ms)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("post-churn invariants: %v", err)
+	}
+	if _, err := tr.Count(R2(0, 0, 1, 1)); err != nil { // re-warm after churn
+		t.Fatal(err)
+	}
+	searchAllocs, countAllocs := searchAllocsPerRun(t, tr)
+	if searchAllocs != 0 {
+		t.Errorf("warm Search on a mutated tree allocated %.1f times per query, want 0", searchAllocs)
+	}
+	if countAllocs != 0 {
+		t.Errorf("warm Count on a mutated tree allocated %.1f times per query, want 0", countAllocs)
+	}
+}
+
 // BenchmarkSearchZeroAlloc is the benchmark-suite guard: it fails outright
 // if a steady-state Search or Count allocates, so an allocation regression
 // breaks the bench job even when nobody inspects allocs/op columns.

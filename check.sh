@@ -16,17 +16,21 @@
 #                     verifier's corrupted-tree fixtures and the fuzz
 #                     seed corpora)
 #   6. go test -race  the concurrency-sensitive packages: the buffer pool
-#                     (incl. the sharded pool's eviction hammer), the
-#                     packers, the parallel sort kernel, the concurrent
-#                     external sorter, the batch executor, the query
-#                     server (admission, deadlines, drain, admin scrapes),
+#                     (incl. the sharded pool's eviction hammer and the
+#                     write-pin protocol), the packers, the parallel sort
+#                     kernel, the concurrent external sorter, the batch
+#                     executor, the query server (admission, deadlines,
+#                     drain, admin scrapes, mutation/query exclusion),
 #                     the lock-free latency histogram, the metrics
 #                     registry (updates racing expositions), the lint
 #                     engine (parallel per-package driver), the fan-out
-#                     router (scatter-gather, health probing, drain), and
-#                     the root package's concurrent Search/SearchBatch
-#                     tests. The zero-alloc gates (…View…) run here for
-#                     their traversal coverage but skip their allocation
+#                     router (scatter-gather, health probing, drain), the
+#                     dynamic write path's differential oracle harness
+#                     (internal/rtree …Mutate… and the root-package
+#                     equivalent), and the root package's concurrent
+#                     Search/SearchBatch tests. The zero-alloc gates
+#                     (…View…, …Mutate…ZeroAlloc) run here for their
+#                     traversal coverage but skip their allocation
 #                     assertions: race instrumentation allocates.
 #
 # The script is plain POSIX sh with no interactive steps, so CI runs it
@@ -56,8 +60,9 @@ go run ./cmd/strlint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (buffer, pack, psort, extsort, query, server, router, histo, obs, lint, concurrent root tests)"
+echo "== go test -race (buffer, pack, psort, extsort, query, server, router, histo, obs, lint, mutation oracle, concurrent root tests)"
 go test -race ./internal/buffer/... ./internal/pack/... ./internal/psort/... ./internal/extsort/... ./internal/query/... ./internal/server/... ./internal/router/... ./internal/histo/... ./internal/obs/... ./internal/lint/...
-go test -race -run 'Concurrent|Batch|Sharded|View' .
+go test -race -run 'Mutate' ./internal/rtree
+go test -race -run 'Concurrent|Batch|Sharded|View|Mutate' .
 
 echo "All checks passed."

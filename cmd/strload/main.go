@@ -7,6 +7,7 @@
 //	strload build -in rects.csv -out index.str -shards 3
 //	strload query -idx index.str -rect x0,y0,x1,y1 [-buffer 256]
 //	strload stats -idx index.str
+//	strload mutate -idx index.str [-ops 1000] [-seed 1] [-verify]
 //
 // The CSV rows are "x0,y0,x1,y1[,id]"; a missing id defaults to the row
 // number. Query prints one matching item per line (id and rectangle)
@@ -15,7 +16,11 @@
 // high-water mark, external-sort spill counts and buffer I/O counters.
 // -shards N STR-partitions the dataset into N spatial slabs, builds one
 // index file per slab and writes a shards.json manifest for the
-// multi-node pipeline (strserve -map/-shard behind strrouter).
+// multi-node pipeline (strserve -map/-shard behind strrouter). Mutate is
+// the dynamic write path's smoke: it applies a seeded random insert/
+// delete sequence to the index in place (replayable by seed), verifies
+// the structural invariants, and prints how many ops took the in-place
+// page-patch path versus the structural split/condense path.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -46,6 +52,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "stats":
 		err = runStats(os.Args[2:])
+	case "mutate":
+		err = runMutate(os.Args[2:])
 	default:
 		usage()
 	}
@@ -56,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: strload build|query|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: strload build|query|stats|mutate [flags]")
 	os.Exit(2)
 }
 
@@ -310,6 +318,111 @@ func runStats(args []string) error {
 	fmt.Printf("leaf perimeter:  %.4f\n", m.LeafPerimeter)
 	fmt.Printf("total area:      %.4f\n", m.TotalArea)
 	fmt.Printf("total perimeter: %.4f\n", m.TotalPerimeter)
+	return nil
+}
+
+// runMutate applies a seeded random insert/delete sequence to an index
+// in place — the dynamic write path's command-line smoke. The sequence
+// is fully determined by -seed, so a failure replays exactly.
+func runMutate(args []string) error {
+	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
+	idx := fs.String("idx", "index.str", "index file (mutated in place)")
+	ops := fs.Int("ops", 1000, "mutation ops to apply")
+	seed := fs.Int64("seed", 1, "op-sequence seed; the same seed replays the same sequence")
+	pInsert := fs.Float64("p-insert", 0.5, "probability an op is an insert (deletes pick a random live item)")
+	bufPages := fs.Int("buffer", 256, "buffer pool pages")
+	verify := fs.Bool("verify", false, "re-check every structural invariant after every op (slow) instead of once at the end")
+	fs.Parse(args)
+	if *ops < 1 {
+		return fmt.Errorf("mutate: -ops must be positive")
+	}
+
+	tree, err := strtree.Open(*idx, strtree.Options{BufferPages: *bufPages})
+	if err != nil {
+		return err
+	}
+	defer tree.Close()
+
+	// The live-item list doubles as the delete pool and keeps inserted
+	// IDs unique above everything already in the index.
+	live, err := tree.Items()
+	if err != nil {
+		return err
+	}
+	nextID := uint64(1)
+	for _, it := range live {
+		if it.ID >= nextID {
+			nextID = it.ID + 1
+		}
+	}
+	bounds, ok, err := tree.Bounds()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		bounds = strtree.R2(0, 0, 1, 1)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	randRect := func() strtree.Rect {
+		min := make(strtree.Point, tree.Dims())
+		max := make(strtree.Point, tree.Dims())
+		for d := range min {
+			span := bounds.Max[d] - bounds.Min[d]
+			if span <= 0 {
+				span = 1
+			}
+			lo := bounds.Min[d] + rng.Float64()*span
+			min[d], max[d] = lo, lo+rng.Float64()*span/20
+		}
+		return strtree.Rect{Min: min, Max: max}
+	}
+
+	inserts, deletes := 0, 0
+	for op := 0; op < *ops; op++ {
+		if len(live) == 0 || rng.Float64() < *pInsert {
+			it := strtree.Item{Rect: randRect(), ID: nextID}
+			nextID++
+			if err := tree.Insert(it.Rect, it.ID); err != nil {
+				return fmt.Errorf("mutate: op %d: insert: %w", op, err)
+			}
+			live = append(live, it)
+			inserts++
+		} else {
+			i := rng.Intn(len(live))
+			it := live[i]
+			found, err := tree.Delete(it.Rect, it.ID)
+			if err != nil {
+				return fmt.Errorf("mutate: op %d: delete: %w", op, err)
+			}
+			if !found {
+				return fmt.Errorf("mutate: op %d: live item id %d not found — index corrupt", op, it.ID)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			deletes++
+		}
+		if *verify {
+			if err := tree.CheckInvariants(); err != nil {
+				return fmt.Errorf("mutate: op %d: invariants violated: %w", op, err)
+			}
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		return fmt.Errorf("mutate: final invariant check failed: %w", err)
+	}
+	if tree.Len() != len(live) {
+		return fmt.Errorf("mutate: tree holds %d items, op accounting says %d", tree.Len(), len(live))
+	}
+	if err := tree.Flush(); err != nil {
+		return err
+	}
+	ms := tree.MutatePathStats()
+	fmt.Printf("mutated %s: %d inserts, %d deletes (seed %d), %d items, height %d\n",
+		*idx, inserts, deletes, *seed, tree.Len(), tree.Height())
+	fmt.Printf("write path: %d in-place / %d structural inserts, %d in-place / %d structural deletes\n",
+		ms.InPlaceInserts, ms.StructuralInserts, ms.InPlaceDeletes, ms.StructuralDeletes)
+	fmt.Println("invariants:  ok")
 	return nil
 }
 

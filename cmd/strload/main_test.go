@@ -255,6 +255,72 @@ func TestRunBuildErrors(t *testing.T) {
 	}
 }
 
+func TestMutateEndToEnd(t *testing.T) {
+	var rows strings.Builder
+	for i := 0; i < 400; i++ {
+		x := float64(i%20) / 20
+		y := float64(i/20) / 20
+		fmt.Fprintf(&rows, "%g,%g,%g,%g,%d\n", x, y, x+0.01, y+0.01, i)
+	}
+	csvPath := writeCSV(t, rows.String())
+	idx := filepath.Join(t.TempDir(), "mutated.str")
+	if err := runBuild([]string{"-in", csvPath, "-out", idx, "-cap", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMutate([]string{"-idx", idx, "-ops", "300", "-seed", "7", "-verify"}); err != nil {
+		t.Fatal(err)
+	}
+	// The mutated file must reopen as a structurally sound tree whose
+	// length matches the seeded op accounting (runMutate already checked
+	// Len against its live list before flushing).
+	tree, err := strtree.Open(idx, strtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("reopened mutated index: %v", err)
+	}
+	if err := runStats([]string{"-idx", idx, "-verify"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutateDrainsToEmpty(t *testing.T) {
+	csvPath := writeCSV(t, "0.1,0.1,0.2,0.2,1\n0.5,0.5,0.6,0.6,2\n")
+	idx := filepath.Join(t.TempDir(), "drain.str")
+	if err := runBuild([]string{"-in", csvPath, "-out", idx}); err != nil {
+		t.Fatal(err)
+	}
+	// p-insert 0 deletes a live item every op until none remain; with
+	// exactly as many ops as items the index must end empty — after
+	// which runMutate's insert branch is the only choice left, so one
+	// more run regrows it from the degenerate empty-bounds fallback.
+	if err := runMutate([]string{"-idx", idx, "-ops", "2", "-p-insert", "0", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := strtree.Open(idx, strtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("drained index holds %d items", tree.Len())
+	}
+	tree.Close()
+	if err := runMutate([]string{"-idx", idx, "-ops", "5", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMutateErrors(t *testing.T) {
+	if err := runMutate([]string{"-idx", filepath.Join(t.TempDir(), "nope.str")}); err == nil {
+		t.Error("missing index accepted")
+	}
+	if err := runMutate([]string{"-idx", "whatever.str", "-ops", "0"}); err == nil {
+		t.Error("zero ops accepted")
+	}
+}
+
 func TestRunQueryErrors(t *testing.T) {
 	if err := runQuery([]string{"-idx", "nope.str"}); err == nil {
 		t.Error("missing -rect accepted")

@@ -68,10 +68,13 @@ func main() {
 		drainGrace   = flag.Duration("drain-grace", 0, "delay between flipping /healthz to 503 and starting the drain")
 		mapPath      = flag.String("map", "", "shards.json manifest written by strload build -shards; -shard selects which entry to serve")
 		shardID      = flag.Int("shard", -1, "shard number to serve from the -map manifest")
+		mutable      = flag.Bool("mutable", false, "accept insert/delete ops over the wire; mutations serialize behind a write lock")
 
-		queryRect = flag.String("query", "", "one-shot client: search rectangle x0,y0,x1,y1")
-		countRect = flag.String("count", "", "one-shot client: count matches of rectangle x0,y0,x1,y1")
-		stats     = flag.Bool("stats", false, "one-shot client: print server stats")
+		queryRect  = flag.String("query", "", "one-shot client: search rectangle x0,y0,x1,y1")
+		countRect  = flag.String("count", "", "one-shot client: count matches of rectangle x0,y0,x1,y1")
+		stats      = flag.Bool("stats", false, "one-shot client: print server stats")
+		insertSpec = flag.String("insert", "", "one-shot client: insert item x0,y0,x1,y1:id (server must run -mutable)")
+		deleteSpec = flag.String("delete", "", "one-shot client: delete item x0,y0,x1,y1:id, exact match (server must run -mutable)")
 
 		selftest = flag.Bool("selftest", false, "run the in-process load harness and exit")
 		clients  = flag.Int("clients", 32, "selftest: concurrent clients")
@@ -98,6 +101,10 @@ func main() {
 		err = runClientQuery(*addr, *countRect, true)
 	case *stats:
 		err = runClientStats(*addr)
+	case *insertSpec != "":
+		err = runClientMutate(*addr, *insertSpec, false)
+	case *deleteSpec != "":
+		err = runClientMutate(*addr, *deleteSpec, true)
 	case *idx != "" || *mapPath != "":
 		target := *idx
 		if *mapPath != "" {
@@ -114,6 +121,7 @@ func main() {
 				slowlog:      *slowlog,
 				slowlogJSON:  *slowlogJSON,
 				drainGrace:   *drainGrace,
+				mutable:      *mutable,
 			})
 		}
 	default:
@@ -136,6 +144,7 @@ type serveConfig struct {
 	slowlog      time.Duration
 	slowlogJSON  string
 	drainGrace   time.Duration
+	mutable      bool
 }
 
 // resolveShardIndex maps -map/-shard to the shard's index file. An
@@ -186,6 +195,7 @@ func serve(idx, addr string, cfg serveConfig) error {
 		MaxInFlight:        cfg.maxInFlight,
 		DefaultTimeout:     cfg.timeout,
 		SlowQueryThreshold: cfg.slowlog,
+		Mutable:            cfg.mutable,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -199,8 +209,12 @@ func serve(idx, addr string, cfg serveConfig) error {
 		_ = tree.Close()
 		return err
 	}
-	fmt.Printf("strserve: serving %s (%d items, height %d) on %s\n",
-		idx, tree.Len(), tree.Height(), ln.Addr())
+	mode := "read-only"
+	if cfg.mutable {
+		mode = "mutable"
+	}
+	fmt.Printf("strserve: serving %s (%d items, height %d, %s) on %s\n",
+		idx, tree.Len(), tree.Height(), mode, ln.Addr())
 
 	var adminSrv *http.Server
 	adminDone := make(chan struct{})
@@ -291,6 +305,39 @@ func runClientQuery(addr, rect string, countOnly bool) error {
 		fmt.Printf("%d\t%v\n", it.ID, it.Rect)
 	}
 	fmt.Printf("# %d results\n", len(items))
+	return nil
+}
+
+// runClientMutate sends one insert or delete to a running server. The
+// spec is "x0,y0,x1,y1:id" — the item's rectangle and identifier.
+func runClientMutate(addr, spec string, del bool) error {
+	rectPart, idPart, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("mutation %q: want x0,y0,x1,y1:id", spec)
+	}
+	q, err := parseRect(rectPart)
+	if err != nil {
+		return err
+	}
+	id, err := strconv.ParseUint(strings.TrimSpace(idPart), 10, 64)
+	if err != nil {
+		return fmt.Errorf("mutation %q: id: %w", spec, err)
+	}
+	cl := server.Dial(addr)
+	defer func() { _ = cl.Close() }()
+	if del {
+		found, n, err := cl.Delete(q, id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleted=%t items=%d\n", found, n)
+		return nil
+	}
+	n, err := cl.Insert(q, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inserted id=%d items=%d\n", id, n)
 	return nil
 }
 

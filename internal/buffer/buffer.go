@@ -24,6 +24,23 @@ import (
 // page can be evicted to make room.
 var ErrPoolExhausted = errors.New("buffer: all frames pinned")
 
+// Write-pin protocol violations. The write pin is an assertion layer, not a
+// lock: mutation exclusivity is the caller's job (the tree is single-writer;
+// the serving layer serializes writers against readers). These errors are
+// how a violated assumption surfaces as a diagnosable failure instead of a
+// silently half-patched page.
+var (
+	// ErrReadPinned is returned by FetchMut when the page already carries
+	// read pins: a concurrent reader could observe the page mid-patch.
+	ErrReadPinned = errors.New("buffer: write pin on a read-pinned page")
+	// ErrWritePinned is returned by Fetch and FetchMut when the page is
+	// write-pinned: its bytes are being patched and must not be observed.
+	ErrWritePinned = errors.New("buffer: page is write-pinned")
+	// ErrNotWritePinned is returned by ReleaseMut for a frame that does not
+	// hold a write pin (mismatched Fetch/ReleaseMut pairing).
+	ErrNotWritePinned = errors.New("buffer: release of a frame that is not write-pinned")
+)
+
 // Stats are the pool's access counters. DiskReads is the paper's "number of
 // disk accesses" metric; LogicalReads-DiskReads is the number of buffer
 // hits. Pinned is not a counter but a gauge sampled when the snapshot is
@@ -69,10 +86,13 @@ func (p Policy) String() string {
 // upward — because after the unpin the frame can be evicted and its
 // backing array handed to a different page.
 type Frame struct {
-	id    storage.PageID
-	data  []byte
-	pins  int
-	dirty bool
+	id   storage.PageID
+	data []byte
+	pins int
+	// writePin marks the single pin as exclusive: the holder is patching
+	// Data in place and no reader may pin the frame until ReleaseMut.
+	writePin bool
+	dirty    bool
 	// resident frames are never evicted (pinned-levels ablation).
 	resident   bool
 	prev, next *Frame // LRU list links, guarded by the pool mutex
@@ -161,6 +181,9 @@ func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 	defer p.mu.Unlock()
 	p.stats.LogicalReads++
 	if f, ok := p.frames[id]; ok {
+		if f.writePin {
+			return nil, fmt.Errorf("%w: page %d", ErrWritePinned, id)
+		}
 		f.pins++
 		p.touchLocked(f)
 		if p.tracer != nil {
@@ -182,11 +205,81 @@ func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 	p.stats.DiskReads++
 	f.id = id
 	f.pins = 1
+	f.writePin = false
 	f.dirty = false
 	f.resident = false
 	p.frames[id] = f
 	p.linkLocked(f)
 	return f, nil
+}
+
+// FetchMut pins the page exclusively for in-place mutation, reading it from
+// the pager on a miss. The write pin asserts the single-writer contract the
+// mutation fast path relies on: if the frame already carries any pin — a
+// reader's, or another write pin — FetchMut fails with ErrReadPinned or
+// ErrWritePinned instead of letting the caller patch bytes a concurrent
+// traversal may be decoding. While the write pin is held, Fetch on the same
+// page fails with ErrWritePinned. Every FetchMut must be paired with a
+// ReleaseMut.
+func (p *Pool) FetchMut(id storage.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.LogicalReads++
+	if f, ok := p.frames[id]; ok {
+		if f.writePin {
+			return nil, fmt.Errorf("%w: page %d", ErrWritePinned, id)
+		}
+		if f.pins > 0 {
+			return nil, fmt.Errorf("%w: page %d has %d read pins", ErrReadPinned, id, f.pins)
+		}
+		f.pins = 1
+		f.writePin = true
+		p.touchLocked(f)
+		if p.tracer != nil {
+			p.tracer(id, true)
+		}
+		return f, nil
+	}
+	if p.tracer != nil {
+		p.tracer(id, false)
+	}
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.pager.ReadPage(id, f.data); err != nil {
+		p.freeFrameLocked(f)
+		return nil, err
+	}
+	p.stats.DiskReads++
+	f.id = id
+	f.pins = 1
+	f.writePin = true
+	f.dirty = false
+	f.resident = false
+	p.frames[id] = f
+	p.linkLocked(f)
+	return f, nil
+}
+
+// ReleaseMut drops a write pin obtained from FetchMut, marking the frame
+// dirty (the pin existed to patch its bytes; an aborted patch that changed
+// nothing writes back an identical page, which costs a write but never
+// correctness). It returns ErrNotWritePinned if the frame does not hold a
+// write pin — a mismatched Fetch/ReleaseMut pairing. The error is the
+// caller's signal that the pin protocol was violated mid-mutation and the
+// page's consistency is in question; dropping it is a bug (the strlint
+// droppederr check covers this package's callers).
+func (p *Pool) ReleaseMut(f *Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !f.writePin || f.pins != 1 {
+		return fmt.Errorf("%w: page %d (pins=%d)", ErrNotWritePinned, f.id, f.pins)
+	}
+	f.writePin = false
+	f.dirty = true
+	f.pins = 0
+	return nil
 }
 
 // Create pins a brand-new page: it allocates a page in the pager and a
@@ -216,6 +309,7 @@ func (p *Pool) adopt(id storage.PageID) (*Frame, error) {
 	}
 	f.id = id
 	f.pins = 1
+	f.writePin = false
 	f.dirty = true
 	f.resident = false
 	p.frames[id] = f
@@ -231,6 +325,10 @@ func (p *Pool) Release(f *Frame) {
 	if f.pins <= 0 {
 		//strlint:ignore panics documented contract: releasing an unpinned frame is a double-release bug in the caller
 		panic(fmt.Sprintf("buffer: release of unpinned page %d", f.id))
+	}
+	if f.writePin {
+		//strlint:ignore panics documented contract: a write pin must go through ReleaseMut so its protocol error is observable
+		panic(fmt.Sprintf("buffer: Release of write-pinned page %d (use ReleaseMut)", f.id))
 	}
 	f.pins--
 }

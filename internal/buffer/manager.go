@@ -28,6 +28,16 @@ type Manager interface {
 	Create() (*Frame, error)
 	// Release unpins a frame obtained from Fetch or Create.
 	Release(f *Frame)
+	// FetchMut pins the page exclusively for in-place mutation: it fails
+	// if the frame carries any other pin, and while it is held Fetch on
+	// the same page fails, so a half-patched page is never observable
+	// through the pin protocol. Every FetchMut must be paired with a
+	// ReleaseMut.
+	FetchMut(id storage.PageID) (*Frame, error)
+	// ReleaseMut drops a write pin, marking the frame dirty. Its error
+	// reports a pin-protocol violation (the frame was not write-pinned);
+	// callers must not drop it.
+	ReleaseMut(f *Frame) error
 	// FlushAll writes every dirty frame to the pager; frames stay cached.
 	FlushAll() error
 	// Invalidate drops every frame, writing back dirty ones first.

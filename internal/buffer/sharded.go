@@ -98,6 +98,18 @@ func (s *Sharded) Release(f *Frame) {
 	s.shard(f.ID()).Release(f)
 }
 
+// FetchMut pins the page exclusively for in-place mutation in its owning
+// shard. Every FetchMut must be paired with a ReleaseMut.
+func (s *Sharded) FetchMut(id storage.PageID) (*Frame, error) {
+	return s.shard(id).FetchMut(id)
+}
+
+// ReleaseMut drops a write pin obtained from FetchMut, marking the frame
+// dirty in its owning shard.
+func (s *Sharded) ReleaseMut(f *Frame) error {
+	return s.shard(f.ID()).ReleaseMut(f)
+}
+
 // FlushAll writes every dirty frame in every shard to the pager.
 func (s *Sharded) FlushAll() error {
 	for _, p := range s.shards {

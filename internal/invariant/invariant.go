@@ -66,6 +66,11 @@ var (
 	ErrCount = errors.New("invariant: entry count mismatch")
 	// ErrDims reports a node whose dimensionality differs from the tree's.
 	ErrDims = errors.New("invariant: dimensionality mismatch")
+	// ErrFreeListLive reports a free-list page that is still referenced by
+	// the live tree — recycling it would hand a live node's page to a new
+	// node. Dynamic deletes are the only producer of free pages, so this
+	// guards the write path's page accounting.
+	ErrFreeListLive = errors.New("invariant: free-list page is referenced by the tree")
 )
 
 // Config selects the optional strict checks.
@@ -107,6 +112,19 @@ func Check(t *rtree.Tree, cfg Config) error {
 	}
 	if found != t.Len() {
 		return fmt.Errorf("%w: found %d data entries, meta records %d", ErrCount, found, t.Len())
+	}
+	// The free list must be disjoint from every live page the walk saw
+	// (including the meta page) and hold no duplicates: a violation means
+	// newPage will eventually hand a live page to a fresh node.
+	freeSeen := make(map[storage.PageID]bool)
+	for _, id := range t.FreePages() {
+		if c.seen[id] {
+			return fmt.Errorf("%w: page %d", ErrFreeListLive, id)
+		}
+		if freeSeen[id] {
+			return fmt.Errorf("%w: page %d listed twice in the free list", ErrFreeListLive, id)
+		}
+		freeSeen[id] = true
 	}
 	if cfg.Packed {
 		if err := c.checkPackedFill(); err != nil {

@@ -41,7 +41,7 @@ func TestLoadDemoModule(t *testing.T) {
 	if a.Module() != "demo" {
 		t.Fatalf("module = %q", a.Module())
 	}
-	want := []string{"", "internal/geom", "internal/pack", "internal/query", "internal/router", "internal/rtree", "internal/server", "internal/storage", "internal/widget"}
+	want := []string{"", "internal/buffer", "internal/geom", "internal/pack", "internal/query", "internal/router", "internal/rtree", "internal/server", "internal/storage", "internal/widget"}
 	got := a.Packages()
 	if len(got) != len(want) {
 		t.Fatalf("packages = %v, want %v", got, want)
@@ -59,7 +59,7 @@ func TestEveryCheckFires(t *testing.T) {
 	found := byCheck(runAll(t, loadDemo(t)))
 	wantCounts := map[string]int{
 		"floateq":     3, // two live in demo.go + one under the malformed directive
-		"droppederr":  6, // plain call, defer, encoding/binary, go call, goroutine body, intra-package call
+		"droppederr":  7, // plain call, defer, encoding/binary, go call, goroutine body, intra-package call, dropped write-pin release
 		"panics":      1, // widget.Explode only; Must*/init exempt
 		"loopcapture": 2, // goroutine capture + defer capture
 		"imports":     3, // geom->storage violation + router->rtree violation + widget missing from table

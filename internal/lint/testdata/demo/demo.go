@@ -6,6 +6,7 @@ import (
 	"bytes"
 	"encoding/binary"
 
+	"demo/internal/buffer"
 	"demo/internal/query"
 	"demo/internal/storage"
 )
@@ -57,6 +58,27 @@ func DropBatch(ex *query.Executor, p *storage.Pager) {
 	go func() {
 		p.Flush() // want droppederr
 	}()
+}
+
+// DropWritePin fires droppederr on a dropped write-pin release: the
+// error from buffer.ReleaseMut reports a pin-protocol pairing bug (a
+// page released that was never write-pinned), and swallowing it leaves
+// a dirty page pinned forever.
+func DropWritePin(p *buffer.Pool) {
+	f, err := p.FetchMut(7)
+	if err != nil {
+		return
+	}
+	p.ReleaseMut(f) // want droppederr
+}
+
+// DropWritePinHandled must not fire: the release error is consumed.
+func DropWritePinHandled(p *buffer.Pool) error {
+	f, err := p.FetchMut(7)
+	if err != nil {
+		return err
+	}
+	return p.ReleaseMut(f)
 }
 
 // DropBatchHandled must not fire: both goroutines consume their errors.

@@ -1,0 +1,17 @@
+// Package buffer mirrors the real module's buffer layer just enough for
+// the droppederr fixture: the write-pin protocol's ReleaseMut returns an
+// error that reports a pin-pairing bug, and dropping it hides a dirty
+// page that will never be flushed.
+package buffer
+
+// Frame is a stand-in for a pinned page frame.
+type Frame struct{}
+
+// Pool is a stand-in for the page pool.
+type Pool struct{}
+
+// FetchMut pretends to take an exclusive write pin on a page.
+func (p *Pool) FetchMut(id uint64) (*Frame, error) { return &Frame{}, nil }
+
+// ReleaseMut pretends to release a write pin.
+func (p *Pool) ReleaseMut(f *Frame) error { return nil }

@@ -343,6 +343,16 @@ func (r *Router) serveOne(h *server.ConnIO, payload []byte) bool {
 		})
 		return false
 	}
+	if req.Op == wire.OpInsert || req.Op == wire.OpDelete {
+		// The router serves the read path only: a mutation would have to
+		// pick (and possibly re-balance) a shard, which the static shard
+		// map cannot express. Mutate the owning strserve directly.
+		return h.WriteResponse(&wire.Response{
+			Status: wire.StatusBadRequest,
+			Op:     req.Op,
+			Err:    "router is read-only: send mutations to a backend server directly",
+		})
+	}
 	if err := r.checkDims(req); err != nil {
 		// Wrong dimensionality is a client error the backends would each
 		// reject; answer once here and keep the connection (the frame

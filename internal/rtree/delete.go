@@ -18,6 +18,16 @@ func (t *Tree) Delete(r geom.Rect, ref uint64) (bool, error) {
 	if t.height == 0 {
 		return false, nil
 	}
+	// Common case first: an in-place leaf removal under write pins
+	// (mutate.go), byte-identical to the slow path below. It declines
+	// when the leaf would fall under minFill (condensation) or the root
+	// would empty.
+	if handled, found, err := t.deleteFast(r, ref); err != nil {
+		return false, err
+	} else if handled {
+		return found, nil
+	}
+	t.mutStats.structuralDeletes.Add(1)
 	var orphans []orphan
 	found, _, _, err := t.delete(t.root, r, ref, &orphans)
 	if err != nil {

@@ -19,6 +19,15 @@ func (t *Tree) Insert(r geom.Rect, ref uint64) error {
 	if err := t.checkEntry(r); err != nil {
 		return err
 	}
+	// Common case first: an in-place leaf append under write pins
+	// (mutate.go), byte-identical to the slow path below but with no
+	// decode/re-encode. It declines when the chosen leaf is full.
+	if done, err := t.insertFast(r, ref); err != nil {
+		return err
+	} else if done {
+		return nil
+	}
+	t.mutStats.structuralInserts.Add(1)
 	e := node.Entry{Rect: r.Clone(), Ref: ref}
 	if t.height == 0 {
 		id, err := t.newPage()

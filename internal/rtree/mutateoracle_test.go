@@ -1,0 +1,344 @@
+package rtree_test
+
+// Differential mutation-oracle harness: deterministic seeded random
+// insert/delete sequences applied simultaneously to a Tree and to a plain
+// slice oracle, with the tree held to the slice's answers — Search, Count,
+// Nearest — and to a clean invariant.Check after every op. Everything is
+// replayable from the printed seed. The external test package is deliberate:
+// it exercises the exported surface and lets the harness import
+// internal/invariant (which imports rtree) without a cycle.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"strtree/internal/buffer"
+	"strtree/internal/geom"
+	"strtree/internal/invariant"
+	"strtree/internal/node"
+	"strtree/internal/rtree"
+	"strtree/internal/storage"
+)
+
+// oracleEntry mirrors one data entry in the linear-scan oracle.
+type oracleEntry struct {
+	rect geom.Rect
+	ref  uint64
+}
+
+// oracle is the naive reference index: a slice, scanned in full per query.
+type oracle struct {
+	entries []oracleEntry
+}
+
+func (o *oracle) insert(r geom.Rect, ref uint64) {
+	o.entries = append(o.entries, oracleEntry{rect: r.Clone(), ref: ref})
+}
+
+// delete removes the first entry equal to (r, ref), reporting whether one
+// existed — the same "remove one instance" semantics as Tree.Delete.
+func (o *oracle) delete(r geom.Rect, ref uint64) bool {
+	for i := range o.entries {
+		if o.entries[i].ref == ref && o.entries[i].rect.Equal(r) {
+			o.entries = append(o.entries[:i], o.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// searchRefs returns the sorted refs of all entries intersecting q.
+func (o *oracle) searchRefs(q geom.Rect) []uint64 {
+	var refs []uint64
+	for i := range o.entries {
+		if o.entries[i].rect.Intersects(q) {
+			refs = append(refs, o.entries[i].ref)
+		}
+	}
+	slices.Sort(refs)
+	return refs
+}
+
+// minDist replicates the tree's point-to-rectangle distance kernel
+// (node.View.MinDist) so distances compare exactly.
+func minDist(p geom.Point, r geom.Rect) float64 {
+	sum := 0.0
+	for d := range p {
+		var dd float64
+		switch {
+		case p[d] < r.Min[d]:
+			dd = r.Min[d] - p[d]
+		case p[d] > r.Max[d]:
+			dd = p[d] - r.Max[d]
+		}
+		sum += dd * dd
+	}
+	return math.Sqrt(sum)
+}
+
+// nearestDists returns the k smallest entry distances from p, sorted.
+func (o *oracle) nearestDists(p geom.Point, k int) []float64 {
+	dists := make([]float64, 0, len(o.entries))
+	for i := range o.entries {
+		dists = append(dists, minDist(p, o.entries[i].rect))
+	}
+	slices.Sort(dists)
+	if len(dists) > k {
+		dists = dists[:k]
+	}
+	return dists
+}
+
+// mutOracleConfig parameterizes one harness run.
+type mutOracleConfig struct {
+	seed       int64
+	ops        int
+	dims       int
+	pageSize   int
+	bufPages   int
+	split      rtree.SplitAlgorithm
+	reinsert   bool
+	dupHeavy   bool    // snap coordinates to a coarse grid: many equal keys
+	pInsert    float64 // probability an op is an insert
+	queryEvery int     // compare queries every n ops (1 = every op)
+	slowOnly   bool    // force the structural path (differential reference)
+}
+
+func (c mutOracleConfig) String() string {
+	return fmt.Sprintf("seed=%d ops=%d dims=%d page=%d split=%v reinsert=%v dup=%v",
+		c.seed, c.ops, c.dims, c.pageSize, c.split, c.reinsert, c.dupHeavy)
+}
+
+// randOpRect draws a rectangle; dup-heavy configs snap to a 5^dims grid of
+// unit cells so exact-duplicate keys are common.
+func randOpRect(rng *rand.Rand, dims int, dupHeavy bool) geom.Rect {
+	r := geom.Rect{Min: make(geom.Point, dims), Max: make(geom.Point, dims)}
+	for d := 0; d < dims; d++ {
+		if dupHeavy {
+			cell := float64(rng.Intn(5))
+			r.Min[d], r.Max[d] = cell, cell+1
+		} else {
+			lo := rng.Float64() * 100
+			r.Min[d], r.Max[d] = lo, lo+rng.Float64()*10
+		}
+	}
+	return r
+}
+
+// newMutTree builds an empty dynamic tree per the config.
+func newMutTree(t testing.TB, c mutOracleConfig) *rtree.Tree {
+	t.Helper()
+	pool := buffer.NewPool(storage.NewMemPager(c.pageSize), c.bufPages)
+	tr, err := rtree.Create(pool, rtree.Config{
+		Dims:           c.dims,
+		Split:          c.split,
+		ForcedReinsert: c.reinsert,
+	})
+	if err != nil {
+		t.Fatalf("%v: create: %v", c, err)
+	}
+	if c.slowOnly {
+		tr.SetInPlaceMutation(false)
+	}
+	return tr
+}
+
+// runMutateOracle drives the op sequence, checking invariants after every
+// op and query equivalence every queryEvery ops. It returns the tree for
+// caller-side final assertions.
+func runMutateOracle(t *testing.T, c mutOracleConfig) *rtree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(c.seed))
+	tr := newMutTree(t, c)
+	var o oracle
+	nextRef := uint64(1)
+
+	for op := 0; op < c.ops; op++ {
+		switch {
+		case len(o.entries) == 0 || rng.Float64() < c.pInsert:
+			var r geom.Rect
+			var ref uint64
+			switch {
+			case len(o.entries) > 0 && rng.Float64() < 0.05:
+				// Exact duplicate of a live entry, rect and ref alike.
+				e := o.entries[rng.Intn(len(o.entries))]
+				r, ref = e.rect.Clone(), e.ref
+			default:
+				r, ref = randOpRect(rng, c.dims, c.dupHeavy), nextRef
+				nextRef++
+			}
+			if err := tr.Insert(r, ref); err != nil {
+				t.Fatalf("%v: op %d: insert: %v", c, op, err)
+			}
+			o.insert(r, ref)
+		case rng.Float64() < 0.1:
+			// Delete a key that is not in the index: both sides miss.
+			r := randOpRect(rng, c.dims, false)
+			found, err := tr.Delete(r, nextRef+1<<40)
+			if err != nil {
+				t.Fatalf("%v: op %d: absent delete: %v", c, op, err)
+			}
+			if found {
+				t.Fatalf("%v: op %d: delete of absent key reported found", c, op)
+			}
+		default:
+			e := o.entries[rng.Intn(len(o.entries))]
+			found, err := tr.Delete(e.rect, e.ref)
+			if err != nil {
+				t.Fatalf("%v: op %d: delete: %v", c, op, err)
+			}
+			if !found {
+				t.Fatalf("%v: op %d: delete of live entry (ref %d) not found", c, op, e.ref)
+			}
+			o.delete(e.rect, e.ref)
+		}
+
+		if err := invariant.Check(tr, invariant.Config{RoundTrip: true}); err != nil {
+			t.Fatalf("%v: op %d: invariants violated: %v", c, op, err)
+		}
+		if tr.Len() != len(o.entries) {
+			t.Fatalf("%v: op %d: tree holds %d entries, oracle %d", c, op, tr.Len(), len(o.entries))
+		}
+		if c.queryEvery > 0 && op%c.queryEvery == 0 {
+			compareQueries(t, c, op, rng, tr, &o)
+		}
+	}
+	return tr
+}
+
+// compareQueries holds the tree to the oracle's answers for one random
+// region query (Search and Count) and one nearest-neighbor probe.
+func compareQueries(t *testing.T, c mutOracleConfig, op int, rng *rand.Rand, tr *rtree.Tree, o *oracle) {
+	t.Helper()
+	q := randOpRect(rng, c.dims, false)
+	var got []uint64
+	if err := tr.Search(q, func(e node.Entry) bool {
+		got = append(got, e.Ref)
+		return true
+	}); err != nil {
+		t.Fatalf("%v: op %d: search: %v", c, op, err)
+	}
+	slices.Sort(got)
+	want := o.searchRefs(q)
+	if !slices.Equal(got, want) {
+		t.Fatalf("%v: op %d: search disagrees with oracle: tree %d refs, oracle %d refs", c, op, len(got), len(want))
+	}
+	n, err := tr.Count(q)
+	if err != nil {
+		t.Fatalf("%v: op %d: count: %v", c, op, err)
+	}
+	if n != len(want) {
+		t.Fatalf("%v: op %d: count %d, oracle %d", c, op, n, len(want))
+	}
+
+	if len(o.entries) > 0 {
+		p := make(geom.Point, c.dims)
+		for d := range p {
+			p[d] = rng.Float64() * 100
+		}
+		k := 1 + rng.Intn(4)
+		_, dists, err := tr.NearestK(p, k)
+		if err != nil {
+			t.Fatalf("%v: op %d: nearestk: %v", c, op, err)
+		}
+		wantD := o.nearestDists(p, k)
+		if len(dists) != len(wantD) {
+			t.Fatalf("%v: op %d: nearestk returned %d results, oracle %d", c, op, len(dists), len(wantD))
+		}
+		for i := range dists {
+			if dists[i] != wantD[i] { //strlint:ignore floateq both sides compute the identical distance kernel; exact equality is the assertion
+				t.Fatalf("%v: op %d: nearest dist[%d] = %v, oracle %v", c, op, i, dists[i], wantD[i])
+			}
+		}
+	}
+}
+
+// TestMutateOracle10kOps is the acceptance harness: a 10,000-op seeded
+// random insert/delete sequence with invariants checked after every single
+// op and full query equivalence against the linear-scan oracle.
+func TestMutateOracle10kOps(t *testing.T) {
+	tr := runMutateOracle(t, mutOracleConfig{
+		seed:       1097, // replay any failure with this seed
+		ops:        10000,
+		dims:       2,
+		pageSize:   256,
+		bufPages:   64,
+		split:      rtree.SplitQuadratic,
+		pInsert:    0.55,
+		queryEvery: 1,
+	})
+	ms := tr.MutateStats()
+	if ms.InPlaceInserts == 0 || ms.InPlaceDeletes == 0 {
+		t.Fatalf("fast path never ran: %+v", ms)
+	}
+	if ms.StructuralInserts == 0 || ms.StructuralDeletes == 0 {
+		t.Fatalf("structural path never ran (splits/condensation untested): %+v", ms)
+	}
+}
+
+// TestMutateOracleMatrix sweeps page sizes, dimensionalities, split
+// algorithms, forced reinsertion, and duplicate-heavy key distributions.
+func TestMutateOracleMatrix(t *testing.T) {
+	cases := []mutOracleConfig{
+		{seed: 2001, ops: 1500, dims: 2, pageSize: 256, split: rtree.SplitLinear},
+		{seed: 2002, ops: 1500, dims: 2, pageSize: 512, split: rtree.SplitQuadratic, dupHeavy: true},
+		{seed: 2003, ops: 1200, dims: 3, pageSize: 512, split: rtree.SplitQuadratic},
+		{seed: 2004, ops: 1200, dims: 2, pageSize: 4096, split: rtree.SplitQuadratic},
+		{seed: 2005, ops: 1200, dims: 2, pageSize: 256, split: rtree.SplitRStar, reinsert: true},
+		{seed: 2006, ops: 1200, dims: 1, pageSize: 256, split: rtree.SplitLinear, dupHeavy: true},
+	}
+	for _, c := range cases {
+		c.pInsert = 0.55
+		c.bufPages = 64
+		c.queryEvery = 5
+		t.Run(c.String(), func(t *testing.T) { runMutateOracle(t, c) })
+	}
+}
+
+// TestMutateFastSlowByteIdentity replays one op sequence into two trees —
+// fast paths on and forced off — and requires byte-identical pagers: the
+// MutableView shortcut must be a pure encoding change, invisible in the
+// stored bytes.
+func TestMutateFastSlowByteIdentity(t *testing.T) {
+	base := mutOracleConfig{
+		seed: 3001, ops: 3000, dims: 2, pageSize: 256, bufPages: 64,
+		split: rtree.SplitQuadratic, pInsert: 0.55, queryEvery: 0,
+	}
+	slow := base
+	slow.slowOnly = true
+
+	fastTr := runMutateOracle(t, base)
+	slowTr := runMutateOracle(t, slow)
+	if n := fastTr.MutateStats().InPlaceInserts; n == 0 {
+		t.Fatal("fast tree never took the in-place path")
+	}
+	if n := slowTr.MutateStats().InPlaceInserts; n != 0 {
+		t.Fatalf("slow tree took the in-place path %d times", n)
+	}
+	if err := fastTr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := slowTr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pf, ps := fastTr.Pool().Pager(), slowTr.Pool().Pager()
+	if pf.NumPages() != ps.NumPages() {
+		t.Fatalf("page counts diverge: fast %d, slow %d", pf.NumPages(), ps.NumPages())
+	}
+	bf := make([]byte, base.pageSize)
+	bs := make([]byte, base.pageSize)
+	for id := 0; id < pf.NumPages(); id++ {
+		if err := pf.ReadPage(storage.PageID(id), bf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.ReadPage(storage.PageID(id), bs); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(bf, bs) {
+			t.Fatalf("page %d differs between fast and slow mutation paths", id)
+		}
+	}
+}

@@ -110,6 +110,25 @@ type Tree struct {
 		pending []orphan
 	}
 
+	// noInPlace disables the MutableView mutation fast paths (mutate.go);
+	// the zero value keeps them on. Toggled by SetInPlaceMutation.
+	noInPlace bool
+	// mut is the reusable scratch of the mutation fast paths
+	// (single-writer, like all mutations).
+	mut struct {
+		path   []mutStep
+		r1, r2 geom.Rect
+	}
+	// mutStats counts in-place vs structural mutations. Atomic so a
+	// serving layer can snapshot them while a writer runs; see
+	// MutateStats.
+	mutStats struct {
+		inPlaceInserts    atomic.Uint64
+		structuralInserts atomic.Uint64
+		inPlaceDeletes    atomic.Uint64
+		structuralDeletes atomic.Uint64
+	}
+
 	// Zero-copy read-path counters (traverse.go). Atomic because
 	// concurrent Search calls are allowed; see ReadStats.
 	readQueries atomic.Uint64
@@ -374,6 +393,15 @@ func (t *Tree) newPage() (storage.PageID, error) {
 // freePage returns a page to the allocator.
 func (t *Tree) freePage(id storage.PageID) {
 	t.free = append(t.free, id)
+}
+
+// FreePages returns a copy of the free-page list: pages released by
+// deletes and splits-gone-wrong, awaiting recycling by newPage. The
+// invariant verifier asserts it is disjoint from the live tree.
+func (t *Tree) FreePages() []storage.PageID {
+	out := make([]storage.PageID, len(t.free))
+	copy(out, t.free)
+	return out
 }
 
 // checkEntry validates a data entry before insertion.

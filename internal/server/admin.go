@@ -102,6 +102,9 @@ func (s *Server) buildRegistry() *obs.Registry {
 		func() float64 { return float64(s.tree.Len()) })
 	r.GaugeFunc("strserve_tree_height", "Levels in the served tree.",
 		func() float64 { return float64(s.tree.Height()) })
+	r.CounterFunc("strserve_mutations_applied_total",
+		"Mutations applied to the served tree (inserts plus found deletes).",
+		s.MutationsApplied)
 	return r
 }
 

@@ -245,6 +245,27 @@ func (c *Client) Batch(qs []geom.Rect) ([][]wire.Item, error) {
 	return resp.Batch, nil
 }
 
+// Insert adds one item to the served tree and returns the tree's length
+// afterwards. The server must be running with mutations enabled.
+func (c *Client) Insert(r geom.Rect, id uint64) (uint64, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpInsert, Query: r, ID: id})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Delete removes the item matching (r, id) exactly, reporting whether
+// one was found and the tree's length afterwards. A miss is not an
+// error. The server must be running with mutations enabled.
+func (c *Client) Delete(r geom.Rect, id uint64) (found bool, length uint64, err error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpDelete, Query: r, ID: id})
+	if err != nil {
+		return false, 0, err
+	}
+	return resp.Found, resp.Count, nil
+}
+
 // Stats fetches the server's counter snapshot.
 func (c *Client) Stats() (wire.Stats, error) {
 	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})

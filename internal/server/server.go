@@ -28,6 +28,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"runtime"
@@ -57,6 +58,12 @@ type Config struct {
 	// BatchWorkers is the executor pool size for OpBatch requests;
 	// 0 means GOMAXPROCS.
 	BatchWorkers int
+	// Mutable enables the mutation ops (OpInsert/OpDelete). Mutations
+	// take an exclusive tree lock while queries share a read lock, so a
+	// mutation waits for running queries and vice versa. When false
+	// (default) mutation requests are refused with StatusBadRequest and
+	// the tree is never written.
+	Mutable bool
 	// SlowQueryThreshold enables the slow-query log: a request whose
 	// execution takes at least this long gets one Logf line recording its
 	// op, duration and result count, and increments the slow-query
@@ -109,6 +116,15 @@ type Server struct {
 	ln       net.Listener          // guarded by mu
 	conns    map[net.Conn]struct{} // guarded by mu
 	draining bool                  // guarded by mu
+
+	// treeMu serializes mutations against queries: the tree's contract is
+	// one writer OR many readers. Queries hold it shared for the duration
+	// of execute; OpInsert/OpDelete hold it exclusively.
+	treeMu sync.RWMutex
+	// mutApplied counts mutations actually applied to the tree (inserts
+	// plus found deletes), for the admin metrics endpoint.
+	// guarded by treeMu
+	mutApplied uint64
 
 	reqWG  sync.WaitGroup // admitted requests (through response write)
 	connWG sync.WaitGroup // connection handler goroutines
@@ -419,8 +435,16 @@ func (s *Server) timeoutFor(req *wire.Request) time.Duration {
 	return d
 }
 
-// execute runs one admitted request against the tree.
+// execute runs one admitted request against the tree. Queries hold the
+// tree read lock so a concurrent mutation cannot change pages mid-
+// traversal; mutations branch off to executeMutation and its exclusive
+// lock.
 func (s *Server) execute(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if req.Op == wire.OpInsert || req.Op == wire.OpDelete {
+		return s.executeMutation(req)
+	}
+	s.treeMu.RLock()
+	defer s.treeMu.RUnlock()
 	resp := &wire.Response{Status: wire.StatusOK, Op: req.Op}
 	switch req.Op {
 	case wire.OpSearch:
@@ -478,6 +502,58 @@ func (s *Server) execute(ctx context.Context, req *wire.Request) (*wire.Response
 		resp.Stats = s.Stats()
 	}
 	return resp, nil
+}
+
+// executeMutation applies one OpInsert/OpDelete under the exclusive tree
+// lock. Mutations are not cancellable mid-flight (the write path has no
+// context variant; a single op is micro-seconds of work), so the request
+// deadline only bounds the wait for the lock indirectly via the client.
+// A dimensionality mismatch is the client's fault and answered in-band;
+// storage failures surface as StatusInternal through the error return.
+func (s *Server) executeMutation(req *wire.Request) (*wire.Response, error) {
+	if !s.cfg.Mutable {
+		return &wire.Response{
+			Status: wire.StatusBadRequest,
+			Op:     req.Op,
+			Err:    "server is read-only: restart with mutations enabled to accept " + req.Op.String(),
+		}, nil
+	}
+	if len(req.Query.Min) != s.tree.Dims() {
+		return &wire.Response{
+			Status: wire.StatusBadRequest,
+			Op:     req.Op,
+			Err:    fmt.Sprintf("rectangle has %d dims, tree has %d", len(req.Query.Min), s.tree.Dims()),
+		}, nil
+	}
+	resp := &wire.Response{Status: wire.StatusOK, Op: req.Op}
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	switch req.Op {
+	case wire.OpInsert:
+		if err := s.tree.Insert(req.Query, req.ID); err != nil {
+			return nil, err
+		}
+		s.mutApplied++
+	case wire.OpDelete:
+		found, err := s.tree.Delete(req.Query, req.ID)
+		if err != nil {
+			return nil, err
+		}
+		resp.Found = found
+		if found {
+			s.mutApplied++
+		}
+	}
+	resp.Count = uint64(s.tree.Len())
+	return resp, nil
+}
+
+// MutationsApplied returns the number of mutations applied to the tree
+// since the server started (inserts plus found deletes).
+func (s *Server) MutationsApplied() uint64 {
+	s.treeMu.RLock()
+	defer s.treeMu.RUnlock()
+	return s.mutApplied
 }
 
 // Stats snapshots the server's counters, gauges and latency digests plus

@@ -22,6 +22,8 @@ func FuzzWireRoundTrip(f *testing.F) {
 		{Op: OpNearest, Point: geom.Pt2(0.25, 0.75), K: 10},
 		{Op: OpBatch, Batch: []geom.Rect{geom.R2(0, 0, 0.5, 0.5), geom.R2(0.5, 0.5, 1, 1)}},
 		{Op: OpStats},
+		{Op: OpInsert, Query: geom.R2(1, 2, 3, 4), ID: 7},
+		{Op: OpDelete, Query: geom.R2(1, 2, 3, 4), ID: 9},
 	} {
 		enc, err := AppendRequest(nil, req)
 		if err != nil {
@@ -38,6 +40,8 @@ func FuzzWireRoundTrip(f *testing.F) {
 		{Op: OpSearch, Status: StatusOverloaded, Err: "in-flight cap reached"},
 		{Op: OpCount, Status: StatusDeadline, Err: "deadline exceeded"},
 		{Op: OpNearest, Status: StatusUnavailable, Err: "shard 1 unavailable"},
+		{Op: OpInsert, Count: 101},
+		{Op: OpDelete, Found: true, Count: 100},
 	} {
 		enc, err := AppendResponse(nil, resp)
 		if err != nil {

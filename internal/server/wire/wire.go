@@ -67,10 +67,12 @@ const (
 	OpNearest     Op = 4 // k nearest neighbors of a point
 	OpBatch       Op = 5 // many window queries in one round trip
 	OpStats       Op = 6 // server counters and latency digests
+	OpInsert      Op = 7 // add one item (rectangle + ID) to the tree
+	OpDelete      Op = 8 // remove the item matching rectangle + ID exactly
 )
 
 // NumOps is the number of defined operations; ops are 1..NumOps.
-const NumOps = 6
+const NumOps = 8
 
 // String returns the op's protocol name.
 func (o Op) String() string {
@@ -87,6 +89,10 @@ func (o Op) String() string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -149,8 +155,9 @@ var (
 )
 
 // Request is one decoded client request. Fields beyond Op and
-// TimeoutMillis are op-specific: Query for OpSearch/OpCount, Point for
-// OpSearchPoint/OpNearest, K for OpNearest, Batch for OpBatch.
+// TimeoutMillis are op-specific: Query for OpSearch/OpCount and the
+// mutation ops, Point for OpSearchPoint/OpNearest, K for OpNearest,
+// Batch for OpBatch, ID for OpInsert/OpDelete.
 type Request struct {
 	Op            Op
 	TimeoutMillis uint32
@@ -158,6 +165,9 @@ type Request struct {
 	Point         geom.Point
 	K             uint32
 	Batch         []geom.Rect
+	// ID is the item identifier for OpInsert/OpDelete; Query carries the
+	// item's rectangle for both (exact match required on delete).
+	ID uint64
 }
 
 // Item is one query match: the indexed rectangle and its object ID.
@@ -207,10 +217,13 @@ type Response struct {
 	Op        Op
 	Err       string
 	Items     []Item // OpSearch, OpSearchPoint
-	Count     uint64 // OpCount
+	Count     uint64 // OpCount; tree length after OpInsert/OpDelete
 	Neighbors []Neighbor
 	Batch     [][]Item // OpBatch; inner slices may be nil for no matches
 	Stats     Stats    // OpStats
+	// Found reports whether OpDelete removed an item; exact-match misses
+	// are StatusOK with Found false, not an error.
+	Found bool
 }
 
 // ------------------------------------------------------------- framing
@@ -498,6 +511,12 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		}
 	case OpStats:
 		// no body
+	case OpInsert, OpDelete:
+		if err := checkRect(req.Query); err != nil {
+			return nil, err
+		}
+		dst = appendRect(dst, req.Query)
+		dst = appendU64(dst, req.ID)
 	}
 	return dst, nil
 }
@@ -539,6 +558,9 @@ func ParseRequest(payload []byte) (*Request, error) {
 		}
 	case OpStats:
 		// no body
+	case OpInsert, OpDelete:
+		req.Query = r.rect()
+		req.ID = r.u64()
 	}
 	if err := r.done(); err != nil {
 		return nil, err
@@ -695,6 +717,15 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 		}
 	case OpStats:
 		dst = appendStats(dst, &resp.Stats)
+	case OpInsert:
+		dst = appendU64(dst, resp.Count)
+	case OpDelete:
+		if resp.Found {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendU64(dst, resp.Count)
 	}
 	return dst, nil
 }
@@ -754,6 +785,17 @@ func ParseResponse(payload []byte) (*Response, error) {
 		}
 	case OpStats:
 		resp.Stats = r.stats()
+	case OpInsert:
+		resp.Count = r.u64()
+	case OpDelete:
+		switch r.u8() {
+		case 0:
+		case 1:
+			resp.Found = true
+		default:
+			r.fail(ErrTruncated)
+		}
+		resp.Count = r.u64()
 	}
 	if err := r.done(); err != nil {
 		return nil, err

@@ -22,6 +22,8 @@ func sampleRequests() []*Request {
 		{Op: OpBatch, Batch: []geom.Rect{geom.R2(0, 0, 0.5, 0.5), geom.R2(0.5, 0.5, 1, 1)}},
 		{Op: OpBatch},
 		{Op: OpStats},
+		{Op: OpInsert, Query: geom.R2(1, 2, 3, 4), ID: 7},
+		{Op: OpDelete, Query: geom.R2(1, 2, 3, 4), ID: 1 << 42, TimeoutMillis: 50},
 	}
 }
 
@@ -46,6 +48,10 @@ func sampleResponses() []*Response {
 		{Op: OpBatch, Status: StatusDeadline, Err: "deadline exceeded"},
 		{Op: OpStats, Status: StatusBadRequest, Err: "bad dims"},
 		{Op: OpNearest, Status: StatusInternal, Err: "page read failed"},
+		{Op: OpInsert, Count: 1001},
+		{Op: OpDelete, Found: true, Count: 1000},
+		{Op: OpDelete, Found: false, Count: 0},
+		{Op: OpInsert, Status: StatusBadRequest, Err: "server is read-only"},
 	}
 }
 

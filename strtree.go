@@ -521,6 +521,18 @@ type ReadPathStats = rtree.ReadStats
 // are allocating). The serving layer exposes these on /metrics.
 func (t *Tree) ReadPathStats() ReadPathStats { return t.inner.ReadStats() }
 
+// MutatePathStats counts how dynamic mutations executed: InPlaceInserts
+// and InPlaceDeletes patched the affected pages directly through mutable
+// views (no decode/re-encode), while the Structural counters took the
+// full Guttman path because the op split a node, condensed one, or
+// collapsed the root; see Tree.MutatePathStats.
+type MutatePathStats = rtree.MutateStats
+
+// MutatePathStats snapshots the write path's counters for this tree.
+// Both paths produce byte-identical trees; the split tells how often the
+// cheap in-place case applied under a given workload.
+func (t *Tree) MutatePathStats() MutatePathStats { return t.inner.MutateStats() }
+
 // BuildStats is the phase breakdown of a bulk load; see LastBuildStats.
 type BuildStats = rtree.BuildStats
 
